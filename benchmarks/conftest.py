@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs a full experiment sweep once (pedantic mode — these
+are discrete-event simulations, deterministic given the seed, so repeated
+rounds only re-measure the host's Python speed), records the reproduced
+table in ``extra_info``, and prints it so a plain
+``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+figures as text.
+"""
+
+import pytest
+
+
+def run_figure(benchmark, sweep_fn, format_fn, label):
+    """Run a sweep under pytest-benchmark and print its table."""
+    result_holder = {}
+
+    def once():
+        result_holder["rows"] = sweep_fn()
+        return result_holder["rows"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    table = format_fn(result_holder["rows"])
+    benchmark.extra_info["figure"] = label
+    benchmark.extra_info["table"] = table
+    print("\n" + table)
+    return result_holder["rows"]

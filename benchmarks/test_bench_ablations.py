@@ -1,0 +1,69 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+from conftest import run_figure
+
+
+def test_bench_ablation_allocator(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: ablations.ablate_allocator(),
+        lambda r: ablations.format_ablation(r, "Ablation — per-worker vs centralized allocator"),
+        "ablation: allocator",
+    )
+    by = {r["config"]: r["files_per_sec"] for r in rows}
+    assert by["perworker"] > 1.1 * by["centralized"]
+
+
+def test_bench_ablation_ipc_cost(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: ablations.ablate_ipc_cost(),
+        lambda r: ablations.format_ablation(r, "Ablation — IPC hop cost sensitivity"),
+        "ablation: ipc",
+    )
+    # throughput strictly degrades as the hop price rises; socket-grade
+    # IPC (8us) loses badly vs shared memory (950ns)
+    vals = [r["kops_per_sec"] for r in rows]
+    assert vals == sorted(vals, reverse=True)
+    assert vals[0] > 1.3 * vals[-1]
+
+
+def test_bench_ablation_exec_mode(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: ablations.ablate_exec_mode(),
+        lambda r: ablations.format_ablation(r, "Ablation — async (Runtime) vs sync (client)"),
+        "ablation: exec mode",
+    )
+    by = {r["config"]: r["lat_us"] for r in rows}
+    # sync saves the IPC round trip on small requests...
+    assert by["sync 4KB"] < by["async 4KB"]
+    # ...but the gap closes (relatively) as device time dominates
+    rel_small = by["async 4KB"] / by["sync 4KB"]
+    rel_big = by["async 1024KB"] / by["sync 1024KB"]
+    assert rel_big < rel_small
+
+
+def test_bench_ablation_consistency(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: ablations.ablate_consistency(),
+        lambda r: ablations.format_ablation(r, "Ablation — consistency guarantee levels"),
+        "ablation: consistency",
+    )
+    by = {r["config"]: r["ops_per_sec"] for r in rows}
+    assert by["relaxed"] > by["standard"] > by["strict"]
+
+
+def test_bench_ablation_cache_capacity(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: ablations.ablate_cache_capacity(),
+        lambda r: ablations.format_ablation(r, "Ablation — LRU cache capacity"),
+        "ablation: cache",
+    )
+    # bigger cache -> higher hit rate -> lower read latency
+    assert rows[0]["hit_rate"] < rows[-1]["hit_rate"]
+    assert rows[-1]["read_lat_us"] < rows[0]["read_lat_us"]

@@ -1,0 +1,28 @@
+"""E1 — regenerate Fig 4(a): I/O stack anatomy."""
+
+from repro.experiments import anatomy
+
+from conftest import run_figure
+
+
+def test_bench_anatomy_write(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: anatomy.run_anatomy("write", nops=128),
+        anatomy.format_anatomy,
+        "Fig 4(a) write",
+    )
+    f = rows["fractions"]
+    assert f["Device I/O"] > 0.45            # paper: ~66%
+    assert 0.08 < f["Page cache (LRU)"] < 0.25  # paper: ~17%
+    assert 0.03 < f["IPC (shm queues)"] < 0.15  # paper: ~8.4%
+
+
+def test_bench_anatomy_read(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: anatomy.run_anatomy("read", nops=128),
+        anatomy.format_anatomy,
+        "Fig 4(a) read",
+    )
+    assert rows["fractions"]["Device I/O"] > 0.40  # "results are similar for reads"

@@ -1,0 +1,22 @@
+"""E10 — regenerate Fig 9(c): Filebench personalities."""
+
+from repro.experiments import filebench_eval
+
+from conftest import run_figure
+
+
+def test_bench_filebench(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: filebench_eval.sweep_filebench(nthreads=4, loops=5),
+        filebench_eval.format_filebench,
+        "Fig 9(c)",
+    )
+    by = {(r["config"], r["personality"]): r["kops_per_sec"] for r in rows}
+    # LabFS stacks win the metadata/small-I/O personalities
+    for wl in ("varmail", "webproxy"):
+        best_kernel = max(by[(fs, wl)] for fs in ("ext4", "xfs", "f2fs"))
+        assert by[("lab-min", wl)] > best_kernel
+        assert by[("lab-d", wl)] > by[("lab-all", wl)]
+    # fileserver is the exception: bandwidth-bound, LabFS does not win
+    assert by[("lab-min", "fileserver")] < 1.2 * by[("ext4", "fileserver")]

@@ -1,0 +1,21 @@
+"""E9 — regenerate Fig 9(b): LABIOS worker throughput."""
+
+from repro.experiments import labios_eval
+
+from conftest import run_figure
+
+
+def test_bench_labios(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: labios_eval.sweep_labios(nlabels=150),
+        labios_eval.format_labios,
+        "Fig 9(b)",
+    )
+    for device in ("nvme", "pmem"):
+        mbps = {r["backend"]: r["MBps"] for r in rows if r["device"] == device}
+        best_fs = max(mbps["ext4"], mbps["xfs"], mbps["f2fs"])
+        # paper: filesystems degrade by at least 12% vs LabKVS
+        assert mbps["labkvs-all"] > 1.12 * best_fs
+        # relaxing access control buys more (paper: up to +16%)
+        assert mbps["labkvs-d"] > mbps["labkvs-min"] > mbps["labkvs-all"]

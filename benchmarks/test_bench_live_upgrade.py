@@ -1,0 +1,31 @@
+"""E2 — regenerate Table I: live-upgrade service interruption.
+
+Runs at 1/8 of the paper's message/upgrade counts (same per-upgrade
+cost); the paper's table is {0,256,512,1024} upgrades on a 29s run.
+"""
+
+from repro.experiments import live_upgrade
+
+from conftest import run_figure
+
+
+def test_bench_live_upgrade_table(benchmark):
+    result = run_figure(
+        benchmark,
+        lambda: live_upgrade.sweep_live_upgrade(
+            nmessages=6000, upgrade_counts=(0, 16, 32, 64)
+        ),
+        live_upgrade.format_live_upgrade,
+        "Table I",
+    )
+    rows = result["rows"]
+    base = rows["centralized"][0]
+    # ~5ms per upgrade (paper: +5.2s over 1024 upgrades)
+    per_up_ms = (rows["centralized"][64] - base) * 1000 / 64
+    assert 2.0 < per_up_ms < 10.0
+    # decentralized is slightly slower at every count
+    for n in (16, 32, 64):
+        assert rows["decentralized"][n] > rows["centralized"][n]
+    # running time grows monotonically with upgrade count
+    cen = [rows["centralized"][n] for n in (0, 16, 32, 64)]
+    assert cen == sorted(cen)

@@ -1,0 +1,25 @@
+"""E6 — regenerate Fig 7: metadata throughput (FxMark creates)."""
+
+from repro.experiments import metadata
+
+from conftest import run_figure
+
+
+def test_bench_metadata(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: metadata.sweep_metadata(thread_counts=(1, 4, 8, 16, 24),
+                                        files_per_thread=60),
+        metadata.format_metadata,
+        "Fig 7",
+    )
+    by = {(r["config"], r["nthreads"]): r["kops_per_sec"] for r in rows}
+    # LabFS up to ~3x over the kernel filesystems single-threaded
+    assert by[("labfs-all", 1)] > 1.8 * by[("ext4", 1)]
+    # removing permissions: ~+7%; removing the centralized authority: ~+20%
+    assert 1.02 < by[("labfs-min", 1)] / by[("labfs-all", 1)] < 1.20
+    assert 1.08 < by[("labfs-d", 1)] / by[("labfs-min", 1)] < 1.45
+    # LabFS scales with client threads; kernel FSes flatline on their locks
+    assert by[("labfs-all", 24)] > 6 * by[("labfs-all", 1)]
+    for fs in ("ext4", "xfs", "f2fs"):
+        assert by[(fs, 24)] < 3 * by[(fs, 1)]

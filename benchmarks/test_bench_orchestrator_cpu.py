@@ -1,0 +1,25 @@
+"""E3 — regenerate Fig 5(a): Work Orchestrator dynamic CPU allocation."""
+
+from repro.experiments import orchestration_cpu
+
+from conftest import run_figure
+
+
+def test_bench_orchestrator_cpu(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: orchestration_cpu.sweep_orchestration_cpu(
+            client_counts=(1, 2, 4, 8, 16), ops_per_client=600
+        ),
+        orchestration_cpu.format_orchestration_cpu,
+        "Fig 5(a)",
+    )
+    by = {(r["workers"], r["nclients"]): r for r in rows}
+    # 1 worker saturates: by 8 clients it is far below the 8-worker config
+    assert by[("1worker", 8)]["iops"] < 0.6 * by[("8workers", 8)]["iops"]
+    # at low client counts a single worker matches the big pool
+    assert by[("1worker", 1)]["iops"] > 0.95 * by[("8workers", 1)]["iops"]
+    # 8 workers burn more CPU than dynamic at mid-range load
+    assert by[("8workers", 8)]["busy_cores"] > 1.5 * by[("dynamic", 8)]["busy_cores"]
+    # dynamic approaches the 8-worker performance at 16 clients
+    assert by[("dynamic", 16)]["iops"] > 0.75 * by[("8workers", 16)]["iops"]

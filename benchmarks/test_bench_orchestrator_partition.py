@@ -1,0 +1,27 @@
+"""E4 — regenerate Fig 5(b): RR vs dynamic request partitioning."""
+
+from repro.experiments import orchestration_partition
+
+from conftest import run_figure
+
+
+def test_bench_orchestrator_partition(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: orchestration_partition.sweep_partition(
+            worker_counts=(1, 2, 4, 8), creates_per_thread=150, writes_per_thread=8
+        ),
+        orchestration_partition.format_partition,
+        "Fig 5(b)",
+    )
+    by = {(r["policy"], r["nworkers"]): r for r in rows}
+    # RR achieves the highest bandwidth at every worker count
+    for n in (2, 4, 8):
+        assert by[("rr", n)]["c_bw_MBps"] >= by[("dynamic", n)]["c_bw_MBps"] * 0.99
+    # ...but destroys L-App tail latency; dynamic protects it
+    assert by[("dynamic", 2)]["l_lat_p99_us"] < by[("rr", 2)]["l_lat_p99_us"] / 5
+    assert by[("dynamic", 4)]["l_lat_p99_us"] < by[("rr", 4)]["l_lat_p99_us"] / 5
+    # the bandwidth cost of separation shrinks as workers grow (30% -> 6%)
+    cost2 = 1 - by[("dynamic", 2)]["c_bw_MBps"] / by[("rr", 2)]["c_bw_MBps"]
+    cost8 = 1 - by[("dynamic", 8)]["c_bw_MBps"] / by[("rr", 8)]["c_bw_MBps"]
+    assert cost8 < cost2

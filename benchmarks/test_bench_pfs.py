@@ -1,0 +1,26 @@
+"""E8 — regenerate Fig 9(a): PFS (VPIC / BD-CATS) over customized stacks."""
+
+from repro.experiments import pfs_eval
+
+from conftest import run_figure
+
+
+def test_bench_pfs(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: pfs_eval.sweep_pfs(),
+        pfs_eval.format_pfs,
+        "Fig 9(a)",
+    )
+
+    def vpic(device):
+        return {r["mds_backend"]: r["vpic_s"] for r in rows if r["data_device"] == device}
+
+    # fast data devices expose the metadata-server speedup (paper: 6-12%)
+    nvme = vpic("nvme")
+    gain_nvme = nvme["ext4"] / nvme["labfs-min"] - 1
+    assert gain_nvme > 0.04
+    # on HDD the I/O cost buries it
+    hdd = vpic("hdd")
+    gain_hdd = hdd["ext4"] / hdd["labfs-min"] - 1
+    assert gain_nvme > gain_hdd + 0.03

@@ -1,0 +1,23 @@
+"""E7 — regenerate Fig 8 / Table II: I/O scheduler comparison."""
+
+from repro.experiments import schedulers
+
+from conftest import run_figure
+
+
+def test_bench_schedulers(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: schedulers.sweep_schedulers(l_nops=120, t_nops=120),
+        schedulers.format_schedulers,
+        "Fig 8 / Table II",
+    )
+    by = {(r["scheduler"], r["colocated"]): r for r in rows}
+    # isolated: noop performs at least as well as blk-switch (paper Table II)
+    assert by[("linux-noop", False)]["l_lat_mean_us"] <= 1.05 * by[("linux-blk", False)]["l_lat_mean_us"]
+    # colocated: noop suffers head-of-line blocking
+    assert by[("linux-noop", True)]["l_lat_p99_us"] > 5 * by[("linux-noop", False)]["l_lat_p99_us"]
+    assert by[("lab-noop", True)]["l_lat_p99_us"] > 5 * by[("lab-noop", False)]["l_lat_p99_us"]
+    # blk-switch restores QoS in both worlds
+    assert by[("linux-blk", True)]["l_lat_p99_us"] < by[("linux-noop", True)]["l_lat_p99_us"] / 3
+    assert by[("lab-blk", True)]["l_lat_p99_us"] < by[("lab-noop", True)]["l_lat_p99_us"] / 3

@@ -1,0 +1,41 @@
+"""E5 — regenerate Fig 6: storage interface performance."""
+
+from repro.experiments import storage_api
+from repro.experiments.report import normalize
+
+from conftest import run_figure
+
+
+def test_bench_storage_api(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: storage_api.sweep_storage_api(nops=250, hdd_nops=40),
+        storage_api.format_storage_api,
+        "Fig 6",
+    )
+
+    def iops(device, bs):
+        return {r["interface"]: r["iops"] for r in rows
+                if r["device"] == device and r["bs"] == bs}
+
+    nvme4k = iops("nvme", 4096)
+    # paper: KernelDriver >= 15% over the best kernel API at 4KB on NVMe
+    assert nvme4k["lab_kernel_driver"] > 1.15 * nvme4k["io_uring"]
+    # SPDK ~12% over KernelDriver
+    assert 1.05 < nvme4k["lab_spdk"] / nvme4k["lab_kernel_driver"] < 1.25
+    # POSIX AIO: the worst interface on NVMe (60-70% overhead territory)
+    assert min(nvme4k, key=nvme4k.get) == "posix_aio"
+
+    # 128KB collapses the spread to single digits for the kernel-driver gap
+    nvme128k = iops("nvme", 128 * 1024)
+    gap_128k = nvme128k["lab_spdk"] / nvme128k["posix"] - 1
+    gap_4k = nvme4k["lab_spdk"] / nvme4k["posix"] - 1
+    assert gap_128k < gap_4k / 2
+
+    # HDD: seek-dominated, everything ties
+    hdd = normalize(iops("hdd", 4096))
+    assert min(hdd.values()) > 0.95
+
+    # PMEM: DAX crushes every queued path
+    pmem = iops("pmem", 4096)
+    assert pmem["lab_dax"] > 2 * pmem["lab_kernel_driver"]

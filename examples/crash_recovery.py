@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Crash recovery: the Runtime dies mid-workload and comes back.
+
+LabFS keeps no on-disk inodes — the in-memory inode hashmap is rebuilt
+from the per-worker metadata log (StateRepair).  Clients detect the dead
+Runtime in Wait, park until the administrator restarts it, and continue;
+requests already in the shared-memory queues survive.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro.mods.generic_fs import GenericFS
+from repro.system import LabStorSystem
+from repro.units import msec
+
+
+def main() -> None:
+    system = LabStorSystem(devices=("nvme",))
+    stack = system.mount_fs_stack("fs::/vault", variant="min", uuid_prefix="cr")
+    client = system.client()
+    gfs = GenericFS(client)
+    labfs = system.runtime.registry.get("cr.labfs")
+
+    def before_crash():
+        for i in range(20):
+            fd = yield from gfs.open(f"fs::/vault/doc{i}", create=True)
+            yield from gfs.write(fd, f"document {i} ".encode() * 300, offset=0)
+            yield from gfs.close(fd)
+
+    system.run(system.process(before_crash()))
+    print(f"wrote 20 files; LabFS log holds {labfs.log.record_count()} records")
+
+    # --- the Runtime crashes ------------------------------------------------
+    system.runtime.crash()
+    # simulate the in-memory state being lost with the process
+    labfs.inodes.clear()
+    labfs.by_path.clear()
+    print("runtime CRASHED; LabFS inode hashmap wiped "
+          f"({len(labfs.inodes)} inodes in memory)")
+
+    survived = {}
+
+    def app_during_crash():
+        # this request is submitted while the Runtime is down; Wait parks
+        data = yield from gfs.read_file("fs::/vault/doc7")
+        survived["doc7"] = data
+
+    def administrator():
+        yield system.env.timeout(msec(15))
+        print("administrator restarts the runtime...")
+        yield system.env.process(system.runtime.restart())
+
+    app = system.process(app_during_crash())
+    system.env.process(administrator())
+    system.run(app)
+
+    print(f"after restart: {len(labfs.inodes)} inodes rebuilt from the log "
+          f"(StateRepair ran {labfs.repairs}x)")
+    assert survived["doc7"] == b"document 7 " * 300
+    print("request submitted during the crash completed with correct data")
+    print(f"runtime stats: {system.runtime.stats()}")
+
+
+if __name__ == "__main__":
+    main()

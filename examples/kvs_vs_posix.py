@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Interface convergence: the same storage, two interfaces.
+
+Reproduces the spirit of the paper's LABIOS result (Fig 9b): an object
+workload forced through the POSIX file abstraction (open/seek/write/close
+per object, as distributed stores that translate objects to files must
+do) versus a native LabKVS put — one request instead of four syscalls.
+
+Run:  python examples/kvs_vs_posix.py
+"""
+
+from repro.devices import make_device
+from repro.experiments.report import format_table
+from repro.kernel import make_filesystem
+from repro.mods.generic_kvs import GenericKVS
+from repro.sim import Environment
+from repro.system import LabStorSystem
+from repro.workloads import KernelFsAdapter, run_labios_fs, run_labios_kvs
+
+NLABELS = 150
+LABEL = 8192  # 8KB objects, as in the paper
+
+
+def main() -> None:
+    rows = []
+
+    # POSIX translation over kernel filesystems
+    for fs_name in ("ext4", "xfs", "f2fs"):
+        env = Environment()
+        fs = make_filesystem(fs_name, env, make_device(env, "nvme"))
+        r = run_labios_fs(env, KernelFsAdapter(fs), nlabels=NLABELS, label_size=LABEL)
+        rows.append([fs_name + " (POSIX files)", f"{r.throughput_MBps:.1f}",
+                     f"{r.labels_per_sec:.0f}"])
+
+    # native key-value LabStacks
+    for variant, label in (("all", "LabKVS-All"), ("min", "LabKVS-Min"), ("d", "LabKVS-D")):
+        system = LabStorSystem(devices=("nvme",))
+        system.mount_kvs_stack("kvs::/objs", variant=variant)
+        kvs = GenericKVS(system.client(), "kvs::/objs")
+        r = run_labios_kvs(system.env, kvs, nlabels=NLABELS, label_size=LABEL)
+        rows.append([label, f"{r.throughput_MBps:.1f}", f"{r.labels_per_sec:.0f}"])
+
+    print(format_table(["backend", "MB/s", "objects/s"], rows,
+                       title=f"{NLABELS} x {LABEL // 1024}KB object writes on NVMe"))
+    print("\nThe POSIX translation pays open/seek/write/close per object;")
+    print("LabKVS does one put. Removing permissions (Min) and the")
+    print("centralized authority (D) recovers even more (paper: +16%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""An append-only log on a zoned-namespace SSD through LabStor.
+
+The paper's Driver LabMods expose storage APIs beyond block — "e.g.,
+zoned namespace and queues".  This example mounts a stack whose bottom is
+the ZNS Driver LabMod and builds a tiny durable log on top of it: records
+are zone-appended (the device assigns offsets), zones are recycled with
+reset once consumed — exactly the contract a log-structured filesystem
+like LabFS would exploit on real ZNS hardware.
+
+Run:  python examples/zns_append_log.py
+"""
+
+from repro.core import LabRequest, StackSpec
+from repro.devices import ZoneState
+from repro.system import LabStorSystem
+from repro.units import fmt_time
+
+
+def main() -> None:
+    system = LabStorSystem(devices=("zns",))
+    spec = StackSpec.linear("blk::/log", [("ZnsDriverMod", "log.drv")])
+    spec.nodes[0].attrs = {"device": "zns"}
+    stack = system.runtime.mount_stack(spec)
+    client = system.client()
+    dev = system.devices["zns"]
+    print(f"ZNS namespace: {len(dev.zones)} zones x {dev.zone_size // (1 << 20)}MiB")
+
+    index = []  # (offset, size) of each record — the log's in-memory index
+
+    def append(record: bytes):
+        offset = yield from client.call(
+            stack, LabRequest(op="blk.append", payload={"zone": 0, "data": record})
+        )
+        index.append((offset, len(record)))
+        return offset
+
+    def scenario():
+        t0 = system.env.now
+        for i in range(16):
+            rec = f"record-{i:03d}|".encode() * 341  # ~4KB
+            yield from append(rec)
+        append_time = (system.env.now - t0) / 16
+        print(f"appended 16 records, {fmt_time(round(append_time))} each "
+              f"(device assigned offsets 0..{index[-1][0]})")
+
+        # read one back by index
+        off, size = index[7]
+        data = yield from client.call(
+            stack, LabRequest(op="blk.read", payload={"offset": off, "size": size})
+        )
+        assert data.startswith(b"record-007|")
+        print("random read of record 7: OK")
+
+        # recycle: reset the zone once its records are dead
+        yield from client.call(stack, LabRequest(op="blk.reset_zone", payload={"zone": 0}))
+        print(f"zone 0 reset -> state {dev.zones[0].state.value}, "
+              f"write pointer back to {dev.zones[0].wp}")
+        assert dev.zones[0].state is ZoneState.EMPTY
+
+    system.run(system.process(scenario()))
+    print(f"device counters: {dev.appends} appends, {dev.resets} resets")
+
+
+if __name__ == "__main__":
+    main()

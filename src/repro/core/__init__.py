@@ -1,0 +1,42 @@
+"""LabStor core: LabMods, LabStacks, the Runtime, Orchestrator, Client."""
+
+from .client import LabStorClient
+from .komgr import KernelOpsManager, KthreadState
+from .labmod import ExecContext, LabMod, ModContext
+from .labstack import LabStack, NodeSpec, StackRules, StackSpec
+from .module_manager import ModuleManager, UpgradeRequest
+from .namespace import StackNamespace
+from .orchestrator import DynamicPolicy, OrchestratorPolicy, RoundRobinPolicy, WorkOrchestrator
+from .registry import ModuleRegistry
+from .requests import LabRequest
+from .runtime import LabStorRuntime, RuntimeConfig
+from .spec import SpecParseError, dump_spec, parse_spec
+from .workers import Worker
+
+__all__ = [
+    "LabMod",
+    "ModContext",
+    "ExecContext",
+    "LabRequest",
+    "ModuleRegistry",
+    "LabStack",
+    "StackSpec",
+    "NodeSpec",
+    "StackRules",
+    "StackNamespace",
+    "Worker",
+    "WorkOrchestrator",
+    "OrchestratorPolicy",
+    "RoundRobinPolicy",
+    "DynamicPolicy",
+    "ModuleManager",
+    "UpgradeRequest",
+    "KernelOpsManager",
+    "KthreadState",
+    "LabStorRuntime",
+    "RuntimeConfig",
+    "LabStorClient",
+    "parse_spec",
+    "dump_spec",
+    "SpecParseError",
+]

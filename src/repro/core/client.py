@@ -1,0 +1,170 @@
+"""The LabStor client library.
+
+Connects a client process to the Runtime, submits requests to its primary
+queue pair, demultiplexes completions, and implements ``Wait`` with crash
+detection (Section III-C3): if the Runtime dies mid-request, the client
+parks until the administrator restarts it (bounded by
+``config.restart_wait_ns``), triggers StateRepair, and then continues —
+the request survives in the shared-memory queue.
+
+For stacks mounted with ``exec_mode: sync`` the client bypasses the
+Runtime and executes the DAG in its own thread (the decentralized designs
+of Section III-B; "Lab-D" in the evaluation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from ..errors import LabStorError, RuntimeCrashed
+from ..sim import Environment
+from .labstack import LabStack
+from .requests import LabRequest
+from .runtime import LabStorRuntime
+
+__all__ = ["LabStorClient"]
+
+_pids = itertools.count(1000)
+
+
+class LabStorClient:
+    def __init__(self, env: Environment, runtime: LabStorRuntime, pid: int | None = None) -> None:
+        self.env = env
+        self.runtime = runtime
+        self.pid = pid if pid is not None else next(_pids)
+        self.conn = None
+        self._pending: dict[int, Any] = {}   # req_id -> Event
+        self._poller = None
+        self.fd_table: dict[int, int] = {}   # fd -> stack_id (GenericFS state)
+        self._fd_counter = itertools.count(3)
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, ordered: bool = True):
+        """Process generator: establish the IPC connection.
+
+        ``ordered=False`` makes the primary queue pair unordered so a
+        worker may process this client's requests concurrently (needed
+        for fio-style multi-outstanding block I/O; POSIX file streams
+        keep the ordered default).
+        """
+        if self.conn is not None:
+            raise LabStorError(f"client {self.pid} already connected")
+        self.conn = yield self.env.process(self.runtime.ipc.connect(self.pid, ordered=ordered))
+        self._poller = self.env.process(self._poll_completions(), name=f"client{self.pid}.poller")
+        return self.conn
+
+    def disconnect(self) -> None:
+        if self.conn is None:
+            return
+        self.runtime.orchestrator.unregister_queue(self.conn.qp)
+        self.runtime.ipc.disconnect(self.pid)
+        self.conn = None
+
+    def fork(self, child_pid: int | None = None):
+        """Process generator modelling fork/clone: the child reconnects and
+        inherits the parent's open fd table (copied via the Runtime)."""
+        child = LabStorClient(self.env, self.runtime, pid=child_pid)
+        yield self.env.process(child.connect())
+        # fd state is copied runtime-side: one message per table
+        yield self.env.timeout(2 * self.runtime.cost.shm_hop_ns)
+        child.fd_table = dict(self.fd_table)
+        return child
+
+    def execve(self):
+        """Process generator modelling execve: disconnect, reconnect, and
+        reload fd state from the Runtime."""
+        saved = dict(self.fd_table)
+        self.disconnect()
+        yield self.env.process(self.connect())
+        yield self.env.timeout(2 * self.runtime.cost.shm_hop_ns)
+        self.fd_table = saved
+
+    # ------------------------------------------------------------------
+    def alloc_fd(self, stack_id: int) -> int:
+        fd = next(self._fd_counter)
+        self.fd_table[fd] = stack_id
+        return fd
+
+    def release_fd(self, fd: int) -> None:
+        self.fd_table.pop(fd, None)
+
+    def stack_for_fd(self, fd: int) -> LabStack:
+        try:
+            stack_id = self.fd_table[fd]
+        except KeyError:
+            raise LabStorError(f"client {self.pid}: unknown fd {fd}") from None
+        return self.runtime.namespace.get_by_id(stack_id)
+
+    # ------------------------------------------------------------------
+    def call(self, stack: LabStack, req: LabRequest):
+        """Process generator: execute ``req`` against ``stack`` and return
+        the completion value.  Chooses sync/async by the stack's rules."""
+        req.stack_id = stack.stack_id
+        req.client_pid = self.pid
+        req.submit_ns = self.env.now
+        if stack.exec_mode == "sync":
+            value = yield self.env.process(self.runtime.execute_sync(req))
+            req.complete_ns = self.env.now
+            self.completed += 1
+            return value
+        if self.conn is None:
+            raise LabStorError(f"client {self.pid} not connected")
+        req.mod_uuid = stack.entry.uuid
+        req.est_ns = stack.entry.est_processing_time(req)
+        ev = self.env.event()
+        self._pending[req.req_id] = ev
+        self.conn.qp.submit(req, pid=self.pid)
+        comp = yield from self._wait(ev)
+        # completion-side cross-core hop (the submit-side hop is traced by
+        # the worker's pop); charged in _poll_completions, attributed here
+        self.runtime.tracer.emit(
+            self.env.now, "span", name="ipc", dur_ns=self.runtime.cost.shm_hop_ns
+        )
+        self.completed += 1
+        if comp.error is not None:
+            raise comp.error
+        return comp.value
+
+    def call_path(self, path: str, op: str, payload: dict | None = None, **kw):
+        """Resolve a path through the namespace and call the owning stack."""
+        stack, remainder = self.runtime.namespace.resolve(path)
+        req = LabRequest(op=op, payload={"path": remainder, **(payload or {})}, **kw)
+        return self.call(stack, req)
+
+    # ------------------------------------------------------------------
+    def _wait(self, ev):
+        """Wait with crash detection (the paper's Wait): poll for the
+        completion, periodically checking whether the Runtime died."""
+        while True:
+            if not self.runtime.online:
+                yield from self._ride_out_crash()
+            result = yield self.env.any_of(
+                [ev, self.env.timeout(self.runtime.config.restart_wait_ns)]
+            )
+            if ev in result:
+                return ev.value
+            # timed out: loop re-checks runtime liveness before waiting again
+
+    def _ride_out_crash(self):
+        """Wait for the administrator to restart the Runtime, then repair."""
+        restart = self.runtime.online_event()
+        deadline = self.env.timeout(self.runtime.config.restart_wait_ns * 10)
+        result = yield self.env.any_of([restart, deadline])
+        if restart not in result:
+            raise RuntimeCrashed(
+                f"client {self.pid}: runtime offline beyond the restart window"
+            )
+        # client library iterates the namespace and repairs every LabMod
+        for stack in self.runtime.namespace.stacks():
+            for mod in stack.mods.values():
+                mod.state_repair()
+
+    def _poll_completions(self):
+        qp = self.conn.qp
+        while self.conn is not None and self.conn.qp is qp:
+            comp = yield self.env.process(qp.pop_completion(self.pid))
+            ev = self._pending.pop(comp.request.req_id, None)
+            if ev is not None and not ev.triggered:
+                ev.succeed(comp)

@@ -1,0 +1,85 @@
+"""Kernel Operations (KO) Manager: the Runtime's kernel-module half.
+
+The real LabStor inserts one kernel module that (a) deploys Driver
+LabMods against in-kernel device queues, (b) relays messages over a
+netlink socket, and (c) spawns/freezes/terminates kthreads for workers
+that execute in kernel space.  We model the deployment bookkeeping, the
+netlink costs, and the kthread lifecycle flags.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..devices.base import BlockDevice
+from ..errors import LabStorError
+from ..sim import Environment
+
+__all__ = ["KthreadState", "KernelOpsManager"]
+
+NETLINK_MSG_NS = 2_500     # one netlink round trip
+DEPLOY_DRIVER_NS = 80_000  # registering a Driver LabMod against a device
+
+
+class KthreadState(enum.Enum):
+    RUNNING = "running"
+    FROZEN = "frozen"
+    TERMINATED = "terminated"
+
+
+class KernelOpsManager:
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.inserted = False
+        self.devices: dict[str, BlockDevice] = {}
+        self.deployed_drivers: dict[str, str] = {}   # driver uuid -> device name
+        self.kthreads: dict[int, KthreadState] = {}
+        self._next_kthread = 0
+
+    def insmod(self):
+        """Process generator: insert the LabStor kernel module."""
+        yield self.env.timeout(NETLINK_MSG_NS * 4)
+        self.inserted = True
+
+    def register_device(self, name: str, device: BlockDevice) -> None:
+        self.devices[name] = device
+
+    def deploy_driver(self, driver_uuid: str, device_name: str):
+        """Process generator: bind a Driver LabMod to a kernel device."""
+        if not self.inserted:
+            raise LabStorError("KO Manager kernel module not inserted")
+        if device_name not in self.devices:
+            raise LabStorError(f"unknown device {device_name!r}")
+        yield self.env.timeout(DEPLOY_DRIVER_NS)
+        self.deployed_drivers[driver_uuid] = device_name
+
+    def device_for(self, driver_uuid: str) -> BlockDevice:
+        try:
+            return self.devices[self.deployed_drivers[driver_uuid]]
+        except KeyError:
+            raise LabStorError(f"driver {driver_uuid!r} not deployed") from None
+
+    # -- kthread lifecycle (in-kernel workers) ------------------------------
+    def spawn_kthread(self):
+        """Process generator returning the kthread id."""
+        yield self.env.timeout(NETLINK_MSG_NS + 15_000)
+        kid = self._next_kthread
+        self._next_kthread += 1
+        self.kthreads[kid] = KthreadState.RUNNING
+        return kid
+
+    def freeze_kthread(self, kid: int) -> None:
+        self._require(kid)
+        self.kthreads[kid] = KthreadState.FROZEN
+
+    def thaw_kthread(self, kid: int) -> None:
+        self._require(kid)
+        self.kthreads[kid] = KthreadState.RUNNING
+
+    def terminate_kthread(self, kid: int) -> None:
+        self._require(kid)
+        self.kthreads[kid] = KthreadState.TERMINATED
+
+    def _require(self, kid: int) -> None:
+        if kid not in self.kthreads:
+            raise LabStorError(f"unknown kthread {kid}")

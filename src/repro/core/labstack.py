@@ -1,0 +1,213 @@
+"""LabStacks: user-defined DAGs of LabMods forming a complete I/O stack.
+
+A :class:`StackSpec` is the human-readable specification (Section III-B):
+a mount point, governing rules (execution method, priority, authorized
+users), and a DAG of LabMod vertices, each carrying the LabMod name, a
+UUID naming the *instance*, init attributes and output edges.
+
+Mounting validates the spec (acyclic, type-compatible edges, length
+limit), instantiates missing LabMods through the Module Registry, wires
+the DAG, and registers the stack in the LabStack Namespace.
+``modify`` applies insert/remove operations to a live stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import StackValidationError
+from .labmod import LabMod
+from .registry import ModuleRegistry
+
+__all__ = ["NodeSpec", "StackRules", "StackSpec", "LabStack"]
+
+_stack_ids = itertools.count(1)
+
+EXEC_MODES = ("async", "sync")
+
+
+@dataclass
+class NodeSpec:
+    mod_name: str                 # LabMod class name, resolved via repos
+    uuid: str                     # instance UUID (shared across stacks!)
+    attrs: dict[str, Any] = field(default_factory=dict)
+    outputs: list[str] = field(default_factory=list)  # downstream uuids
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "NodeSpec":
+        return cls(
+            mod_name=d["mod"],
+            uuid=d["uuid"],
+            attrs=dict(d.get("attrs", {})),
+            outputs=list(d.get("outputs", [])),
+        )
+
+
+@dataclass
+class StackRules:
+    exec_mode: str = "async"      # "async": in the Runtime; "sync": in the client
+    priority: int = 0             # hint for the Work Orchestrator
+    admins: list[str] = field(default_factory=list)  # users allowed to modify
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "StackRules":
+        return cls(
+            exec_mode=d.get("exec_mode", "async"),
+            priority=int(d.get("priority", 0)),
+            admins=list(d.get("admins", [])),
+        )
+
+
+@dataclass
+class StackSpec:
+    mount: str
+    nodes: list[NodeSpec]
+    rules: StackRules = field(default_factory=StackRules)
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "StackSpec":
+        return cls(
+            mount=d["mount"],
+            nodes=[NodeSpec.from_dict(n) for n in d.get("labmods", [])],
+            rules=StackRules.from_dict(d.get("rules", {})),
+        )
+
+    @classmethod
+    def linear(cls, mount: str, chain: list[tuple[str, str]], **rule_kw) -> "StackSpec":
+        """Convenience: build a simple pipeline spec.
+
+        ``chain`` is ``[(mod_name, uuid), ...]`` head first; each node's
+        output is the next node.
+        """
+        nodes = []
+        for i, (mod_name, uuid) in enumerate(chain):
+            outputs = [chain[i + 1][1]] if i + 1 < len(chain) else []
+            nodes.append(NodeSpec(mod_name=mod_name, uuid=uuid, outputs=outputs))
+        return cls(mount=mount, nodes=nodes, rules=StackRules(**rule_kw))
+
+
+class LabStack:
+    """A mounted, validated, executable LabMod DAG."""
+
+    MAX_LENGTH = 16  # configurable maximum stack length (deployment model)
+
+    def __init__(self, spec: StackSpec, registry: ModuleRegistry) -> None:
+        self.spec = spec
+        self.registry = registry
+        self.stack_id = next(_stack_ids)
+        self.mods: dict[str, LabMod] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        spec = self.spec
+        if spec.rules.exec_mode not in EXEC_MODES:
+            raise StackValidationError(f"bad exec_mode {spec.rules.exec_mode!r}")
+        if not spec.nodes:
+            raise StackValidationError("stack has no LabMods")
+        if len(spec.nodes) > self.MAX_LENGTH:
+            raise StackValidationError(f"stack exceeds max length {self.MAX_LENGTH}")
+        uuids = [n.uuid for n in spec.nodes]
+        if len(set(uuids)) != len(uuids):
+            raise StackValidationError("duplicate LabMod uuid in stack spec")
+        by_uuid = {n.uuid: n for n in spec.nodes}
+        for node in spec.nodes:
+            for out in node.outputs:
+                if out not in by_uuid:
+                    raise StackValidationError(f"{node.uuid} outputs to unknown uuid {out!r}")
+        self._check_acyclic(by_uuid)
+
+        # instantiate (or reuse) each LabMod via the registry
+        for node in spec.nodes:
+            self.mods[node.uuid] = self.registry.instantiate(node.mod_name, node.uuid, node.attrs)
+        # wire DAG edges
+        for node in spec.nodes:
+            mod = self.mods[node.uuid]
+            mod.next = [self.mods[out] for out in node.outputs]
+        self._check_compat()
+
+    @staticmethod
+    def _check_acyclic(by_uuid: dict[str, NodeSpec]) -> None:
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {u: WHITE for u in by_uuid}
+
+        def visit(u: str) -> None:
+            color[u] = GREY
+            for v in by_uuid[u].outputs:
+                if color[v] == GREY:
+                    raise StackValidationError(f"cycle through {u} -> {v}")
+                if color[v] == WHITE:
+                    visit(v)
+            color[u] = BLACK
+
+        for u in by_uuid:
+            if color[u] == WHITE:
+                visit(u)
+
+    def _check_compat(self) -> None:
+        from .labmod import check_edge_compat
+
+        for node in self.spec.nodes:
+            up = self.mods[node.uuid]
+            for out in node.outputs:
+                down = self.mods[out]
+                if not check_edge_compat(up, down):
+                    raise StackValidationError(
+                        f"incompatible edge {up.uuid}({up.mod_type}, emits {up.emits}) -> "
+                        f"{down.uuid}({down.mod_type}, accepts {down.accepts})"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def mount(self) -> str:
+        return self.spec.mount
+
+    @property
+    def exec_mode(self) -> str:
+        return self.spec.rules.exec_mode
+
+    @property
+    def entry(self) -> LabMod:
+        """The DAG root: the unique node with no incoming edges."""
+        targets = {out for n in self.spec.nodes for out in n.outputs}
+        roots = [n.uuid for n in self.spec.nodes if n.uuid not in targets]
+        if len(roots) != 1:
+            raise StackValidationError(f"stack must have exactly one entry, found {roots}")
+        return self.mods[roots[0]]
+
+    def mod_uuids(self) -> list[str]:
+        return [n.uuid for n in self.spec.nodes]
+
+    # -- dynamic modification (modify_stack) --------------------------------
+    def insert_after(self, anchor_uuid: str, node: NodeSpec) -> None:
+        """Splice a new vertex between ``anchor`` and its current outputs."""
+        anchor = next((n for n in self.spec.nodes if n.uuid == anchor_uuid), None)
+        if anchor is None:
+            raise StackValidationError(f"anchor {anchor_uuid!r} not in stack")
+        node.outputs = list(anchor.outputs)
+        anchor.outputs = [node.uuid]
+        self.spec.nodes.insert(self.spec.nodes.index(anchor) + 1, node)
+        self.mods = {}
+        self._build()
+
+    def remove_node(self, uuid: str) -> None:
+        """Remove a vertex, reconnecting its parents to its outputs."""
+        node = next((n for n in self.spec.nodes if n.uuid == uuid), None)
+        if node is None:
+            raise StackValidationError(f"{uuid!r} not in stack")
+        for other in self.spec.nodes:
+            if uuid in other.outputs:
+                other.outputs = [o for o in other.outputs if o != uuid] + [
+                    o for o in node.outputs if o not in other.outputs
+                ]
+        self.spec.nodes.remove(node)
+        if not self.spec.nodes:
+            raise StackValidationError("cannot remove the last LabMod")
+        self.mods = {}
+        self._build()
+
+    def __repr__(self) -> str:
+        chain = "->".join(n.uuid for n in self.spec.nodes)
+        return f"<LabStack #{self.stack_id} {self.mount!r} [{chain}] {self.exec_mode}>"

@@ -1,0 +1,101 @@
+"""The Module Registry: every instantiated LabMod, addressable by UUID.
+
+Mirrors the paper's shared-memory hashmap: keys are human-readable LabMod
+UUIDs, values are live instances.  LabMod *repos* (directories of plug-ins
+in the paper) are modelled as named dicts mapping LabMod names to classes;
+`mount_repo` / `unmount_repo` adjust the available set at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from ..errors import LabStorError, ModuleNotFound
+from .labmod import LabMod, ModContext
+
+__all__ = ["ModuleRegistry"]
+
+
+class ModuleRegistry:
+    def __init__(self, ctx: ModContext, max_repos_per_user: int = 8) -> None:
+        self.ctx = ctx
+        self.max_repos_per_user = max_repos_per_user
+        self._repos: dict[str, dict[str, Type[LabMod]]] = {}
+        self._repo_owner: dict[str, int] = {}
+        self._mods: dict[str, LabMod] = {}
+        self.upgrades_applied = 0
+
+    # -- repos (plug-in discovery) ----------------------------------------
+    def mount_repo(self, name: str, mods: dict[str, Type[LabMod]], owner_uid: int = 0) -> None:
+        if name in self._repos:
+            raise LabStorError(f"repo {name!r} already mounted")
+        owned = sum(1 for o in self._repo_owner.values() if o == owner_uid)
+        if owned >= self.max_repos_per_user:
+            raise LabStorError(f"uid {owner_uid} exceeded max repos ({self.max_repos_per_user})")
+        self._repos[name] = dict(mods)
+        self._repo_owner[name] = owner_uid
+
+    def unmount_repo(self, name: str) -> None:
+        self._repos.pop(name, None)
+        self._repo_owner.pop(name, None)
+
+    def resolve_class(self, mod_name: str) -> Type[LabMod]:
+        """Search mounted repos (insertion order) for a LabMod class."""
+        for repo in self._repos.values():
+            if mod_name in repo:
+                return repo[mod_name]
+        raise ModuleNotFound(f"no mounted repo provides LabMod {mod_name!r}")
+
+    # -- instances ------------------------------------------------------------
+    def instantiate(self, mod_name: str, uuid: str, attrs: dict[str, Any] | None = None) -> LabMod:
+        """Create the LabMod for ``uuid`` unless one already exists.
+
+        Matches mount-time semantics: "a LabMod is only instantiated if
+        its UUID did not exist in the registry".
+        """
+        existing = self._mods.get(uuid)
+        if existing is not None:
+            return existing
+        cls = self.resolve_class(mod_name)
+        ctx = self.ctx
+        if attrs:
+            ctx = ModContext(self.ctx.env, self.ctx.cost, self.ctx.tracer, self.ctx.devices, attrs)
+        mod = cls(uuid, ctx)
+        self._mods[uuid] = mod
+        return mod
+
+    def get(self, uuid: str) -> LabMod:
+        try:
+            return self._mods[uuid]
+        except KeyError:
+            raise ModuleNotFound(f"LabMod uuid {uuid!r} not in registry") from None
+
+    def __contains__(self, uuid: str) -> bool:
+        return uuid in self._mods
+
+    def uuids(self) -> list[str]:
+        return list(self._mods)
+
+    def instances_of(self, mod_name_cls: Type[LabMod]) -> list[LabMod]:
+        return [m for m in self._mods.values() if isinstance(m, mod_name_cls)]
+
+    # -- hot swap -----------------------------------------------------------
+    def hot_swap(self, uuid: str, new_cls: Type[LabMod], attrs: dict[str, Any] | None = None) -> LabMod:
+        """Replace the instance behind ``uuid``; wiring is preserved and
+        state is carried over via the StateUpdate API."""
+        old = self.get(uuid)
+        ctx = self.ctx
+        if attrs:
+            ctx = ModContext(self.ctx.env, self.ctx.cost, self.ctx.tracer, self.ctx.devices, attrs)
+        new = new_cls(uuid, ctx)
+        new.next = old.next
+        new.state_update(old)
+        self._mods[uuid] = new
+        # re-point every upstream that forwarded to the old instance
+        for mod in self._mods.values():
+            mod.next = [new if n is old else n for n in mod.next]
+        self.upgrades_applied += 1
+        return new
+
+    def remove(self, uuid: str) -> None:
+        self._mods.pop(uuid, None)

@@ -1,0 +1,40 @@
+"""Request objects that flow through LabStacks.
+
+A :class:`LabRequest` is what a connector constructs and places on a
+queue pair: an operation name, a payload, routing information (stack id /
+entry LabMod uuid), and an estimated processing time used by the Work
+Orchestrator's queue classification.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["LabRequest"]
+
+_req_ids = itertools.count(1)
+
+
+@dataclass
+class LabRequest:
+    op: str                       # e.g. "fs.open", "fs.write", "kvs.put", "io.submit"
+    payload: dict[str, Any] = field(default_factory=dict)
+    stack_id: Optional[int] = None
+    mod_uuid: Optional[str] = None   # entry LabMod (set by the connector)
+    client_pid: Optional[int] = None
+    est_ns: int = 1000               # EstProcessingTime estimate at submit time
+    priority: int = 0
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+    submit_ns: int = -1
+    complete_ns: int = -1
+
+    @property
+    def latency_ns(self) -> int:
+        if self.complete_ns < 0:
+            raise ValueError(f"request {self.req_id} not completed")
+        return self.complete_ns - self.submit_ns
+
+    def __repr__(self) -> str:
+        return f"<LabRequest #{self.req_id} {self.op} stack={self.stack_id}>"

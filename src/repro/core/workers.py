@@ -1,0 +1,217 @@
+"""Runtime Workers: queue-polling execution engines.
+
+A Worker polls the queue pairs the Work Orchestrator assigned to it,
+pops requests, and executes the LabStack DAG for each.  Key behaviours
+from Section III-C:
+
+- CPU segments of request execution serialize on the worker's core;
+  device waits release the core, so a worker keeps processing other
+  requests while I/O is in flight (asynchronous message passing).
+- Ordered queues are drained one-request-at-a-time; unordered queues may
+  have several requests in flight.
+- A worker that has seen no work for ``idle_sleep_ns`` stops busy-waiting
+  and sleeps until one of its queues becomes non-empty (the paper's
+  configurable idle threshold that lets a worker "avoid busy waiting for
+  an entire WO epoch").
+- Workers acknowledge UPDATE_PENDING flags on primary queues and stop
+  popping them until the Module Manager completes the upgrade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from ..ipc.queue_pair import Completion, QueueFlag, QueuePair
+from ..kernel.cpu import Cpu
+from ..sim import Environment, Interrupt
+from .labmod import ExecContext
+from .requests import LabRequest
+
+__all__ = ["Worker"]
+
+# Executor signature: (request, exec_context) -> generator returning a value
+Executor = Callable[[LabRequest, ExecContext], Generator]
+
+
+class Worker:
+    def __init__(
+        self,
+        env: Environment,
+        worker_id: int,
+        cpu: Cpu,
+        executor: Executor,
+        tracer=None,
+        core_id: int | None = None,
+        poll_quantum_ns: int = 2_000,
+        idle_sleep_ns: int = 50_000,
+        max_inflight: int = 64,
+    ) -> None:
+        from ..sim import Tracer
+
+        self.env = env
+        self.worker_id = worker_id
+        self.cpu = cpu
+        self.executor = executor
+        self.tracer = tracer or Tracer()
+        self.core_id = core_id if core_id is not None else cpu.pin()
+        self.core = cpu.cores[self.core_id]
+        self.poll_quantum_ns = poll_quantum_ns
+        self.idle_sleep_ns = idle_sleep_ns
+        self.max_inflight = max_inflight
+
+        self.queues: list[QueuePair] = []
+        self.running = True
+        self.processed = 0
+        self.failed = 0
+        self.inflight = 0
+        self._inflight_per_qp: dict[int, int] = {}
+        self._rr = 0
+        self._last_work_ns = env.now
+        # awake-time accounting (CPU a busy-polling worker burns)
+        self.awake_ns = 0
+        self._awake_since: int | None = env.now
+        self._wake_event = env.event()
+        self._sleeping = False
+        self.proc = env.process(self._loop(), name=f"worker{worker_id}")
+
+    # ------------------------------------------------------------------
+    # queue assignment (driven by the Work Orchestrator)
+    # ------------------------------------------------------------------
+    def assign(self, qp: QueuePair) -> None:
+        if qp not in self.queues:
+            self.queues.append(qp)
+            self.kick()
+
+    def unassign(self, qp: QueuePair) -> None:
+        if qp in self.queues:
+            self.queues.remove(qp)
+
+    def assigned_qids(self) -> list[int]:
+        return [qp.qid for qp in self.queues]
+
+    def kick(self) -> None:
+        """Re-arm the scan loop (new queue / new work / completion / stop)."""
+        if not self._wake_event.triggered:
+            self._wake_event.succeed()
+
+    def decommission(self) -> None:
+        """Stop after finishing in-flight work (orchestrator scale-down)."""
+        self.running = False
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _go_to_sleep_accounting(self) -> None:
+        if self._awake_since is not None:
+            self.awake_ns += self.env.now - self._awake_since
+            self._awake_since = None
+
+    def _wake_accounting(self) -> None:
+        if self._awake_since is None:
+            self._awake_since = self.env.now
+
+    def awake_time(self) -> int:
+        total = self.awake_ns
+        if self._awake_since is not None:
+            total += self.env.now - self._awake_since
+        return total
+
+    def reset_accounting(self) -> None:
+        self.awake_ns = 0
+        if self._awake_since is not None:
+            self._awake_since = self.env.now
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _scan_once(self) -> bool:
+        """Try to pop one request from the assigned queues (round-robin).
+        Returns True if work was started."""
+        n = len(self.queues)
+        for i in range(n):
+            qp = self.queues[(self._rr + i) % n]
+            if qp.primary and qp.flag is QueueFlag.UPDATE_PENDING:
+                qp.ack_update()
+                continue
+            if qp.flag is QueueFlag.UPDATE_ACKED:
+                continue  # paused for upgrade
+            if qp.ordered and self._inflight_per_qp.get(qp.qid, 0) > 0:
+                continue
+            req = qp.try_pop_request()
+            if req is not None:
+                self._rr = (self._rr + i + 1) % n
+                # account in-flight synchronously so the ordered-queue gate
+                # holds before the request process gets its first step
+                self.inflight += 1
+                self._inflight_per_qp[qp.qid] = self._inflight_per_qp.get(qp.qid, 0) + 1
+                self.env.process(
+                    self._run_request(qp, req), name=f"w{self.worker_id}.req{req.req_id}"
+                )
+                return True
+        return False
+
+    def _poppable_when_filled(self, qp: QueuePair) -> bool:
+        """Would _scan_once be able to act on this queue if a request
+        arrived?  Mirrors the skip conditions in _scan_once so the loop
+        never arms an event it cannot make progress on (spin guard)."""
+        if qp.flag is QueueFlag.UPDATE_ACKED:
+            return False
+        if qp.ordered and self._inflight_per_qp.get(qp.qid, 0) > 0:
+            return False
+        return True
+
+    def _loop(self):
+        env = self.env
+        while self.running:
+            if self.queues and self.inflight < self.max_inflight and self._scan_once():
+                self._last_work_ns = env.now
+                continue
+            # no poppable work: a polling worker discovers new submissions
+            # immediately (sub-mus), so wait event-driven; the idle window
+            # only controls when the worker stops burning its core.
+            self._wake_event = env.event()
+            waits = [self._wake_event]
+            if self.inflight < self.max_inflight:
+                waits += [qp.sq_nonempty() for qp in self.queues
+                          if self._poppable_when_filled(qp)]
+            idle_for = env.now - self._last_work_ns
+            if self.inflight > 0 or (self.queues and idle_for < self.idle_sleep_ns):
+                # busy-polling: stay awake; give up after the idle window
+                waits.append(env.timeout(max(self.poll_quantum_ns,
+                                             self.idle_sleep_ns - idle_for)))
+                yield env.any_of(waits)
+                continue
+            # nothing to do for a while: sleep until kicked or work arrives
+            self._go_to_sleep_accounting()
+            self._sleeping = True
+            yield env.any_of(waits)
+            self._sleeping = False
+            self._wake_accounting()
+            self._last_work_ns = env.now
+        self._go_to_sleep_accounting()
+
+    def _run_request(self, qp: QueuePair, req: LabRequest):
+        # in-flight counters were bumped by _scan_once at pop time
+        x = ExecContext(self.env, self.tracer, core_resource=self.core, worker_id=self.worker_id)
+        # the cross-core pop of the request payload
+        yield from x.work(qp.pop_cost_ns, span="ipc")
+        # request handling: parse, namespace/registry lookups, bookkeeping
+        yield from x.work(self.cpu.cost.runtime_request_ns, span="runtime")
+        error = None
+        value = None
+        try:
+            value = yield from self.executor(req, x)
+        except Interrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - module bug: report, don't die
+            error = exc
+            self.failed += 1
+        req.complete_ns = self.env.now
+        self.processed += 1
+        self.inflight -= 1
+        self._inflight_per_qp[qp.qid] -= 1
+        self._last_work_ns = self.env.now
+        qp.complete(Completion(req, value=value, error=error))
+        # a completion can unblock an ordered queue or the inflight cap
+        self.kick()

@@ -1,0 +1,32 @@
+"""Simulated storage devices with real byte backing."""
+
+from .backing import BackingStore
+from .base import BlockDevice, BlockRequest, DeviceProfile, IoOp
+from .hdd import Hdd
+from .nvme import Nvme
+from .pmem import Pmem
+from .profiles import HDD_ST600, NVME_P3700, PMEM_EMULATED, PROFILES, SATA_SSD_BX, ZNS_NVME, make_device
+from .ssd import SataSsd
+from .zns import Zone, ZoneState, ZnsNvme
+
+__all__ = [
+    "BackingStore",
+    "BlockDevice",
+    "BlockRequest",
+    "DeviceProfile",
+    "IoOp",
+    "Hdd",
+    "Nvme",
+    "Pmem",
+    "SataSsd",
+    "make_device",
+    "PROFILES",
+    "NVME_P3700",
+    "SATA_SSD_BX",
+    "HDD_ST600",
+    "PMEM_EMULATED",
+    "ZNS_NVME",
+    "ZnsNvme",
+    "Zone",
+    "ZoneState",
+]

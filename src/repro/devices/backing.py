@@ -1,0 +1,88 @@
+"""Real byte storage behind every simulated device.
+
+Timing in this package is virtual, but data is not: a write persists real
+bytes into a sparse page map and a later read returns exactly those bytes.
+This lets the filesystem/KVS layers above be tested for actual round-trip
+integrity and crash consistency, not just for latency bookkeeping.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeviceError
+
+__all__ = ["BackingStore"]
+
+_PAGE = 4096
+
+
+class BackingStore:
+    """Sparse byte store addressed by absolute byte offset.
+
+    Unwritten ranges read back as zeros, matching the behaviour of a
+    freshly TRIMmed SSD / zeroed block device.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise DeviceError("capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._pages: dict[int, bytearray] = {}
+
+    # -- bookkeeping ------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of real memory held (sparse occupancy), for tests/metrics."""
+        return len(self._pages) * _PAGE
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0:
+            raise DeviceError(f"negative offset/size: {offset}/{size}")
+        if offset + size > self.capacity_bytes:
+            raise DeviceError(
+                f"I/O beyond device end: offset={offset} size={size} cap={self.capacity_bytes}"
+            )
+
+    # -- data path ----------------------------------------------------------
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        pos = 0
+        size = len(data)
+        while pos < size:
+            page_no, in_page = divmod(offset + pos, _PAGE)
+            chunk = min(_PAGE - in_page, size - pos)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(_PAGE)
+                self._pages[page_no] = page
+            page[in_page : in_page + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check_range(offset, size)
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            page_no, in_page = divmod(offset + pos, _PAGE)
+            chunk = min(_PAGE - in_page, size - pos)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[pos : pos + chunk] = page[in_page : in_page + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def discard(self, offset: int, size: int) -> None:
+        """TRIM: zero a range, releasing fully covered pages."""
+        self._check_range(offset, size)
+        end = offset + size
+        first_full = -(-offset // _PAGE)  # ceil div
+        last_full = end // _PAGE
+        if first_full > last_full:
+            # Range lies entirely within one page.
+            self.write(offset, b"\x00" * size)
+            return
+        if offset % _PAGE:
+            self.write(offset, b"\x00" * (first_full * _PAGE - offset))
+        for page_no in range(first_full, last_full):
+            self._pages.pop(page_no, None)
+        if end % _PAGE:
+            self.write(last_full * _PAGE, b"\x00" * (end - last_full * _PAGE))

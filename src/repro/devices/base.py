@@ -1,0 +1,210 @@
+"""Block-device abstraction: request types and the generic service engine.
+
+A :class:`BlockDevice` owns one or more hardware dispatch queues (hctx).
+Submitters place a :class:`BlockRequest` on an hctx; per-hctx dispatch is
+FIFO (this is what produces head-of-line blocking in the Fig 8 scheduler
+experiment), while the device's internal parallelism lets several hctxs
+be serviced concurrently.
+
+Completion is signalled by succeeding ``req.done`` — interrupt vs polling
+cost is charged by whichever *interface* consumed the completion (kernel
+IRQ path vs userspace poller), not by the device itself.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import DeviceError
+from ..sim import Environment, Event, Resource, Store
+
+__all__ = ["IoOp", "BlockRequest", "DeviceProfile", "BlockDevice"]
+
+_req_ids = itertools.count(1)
+
+
+class IoOp(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+    TRIM = "trim"
+
+
+@dataclass
+class BlockRequest:
+    """One I/O against a device, carrying real data for writes."""
+
+    op: IoOp
+    offset: int
+    size: int
+    data: Optional[bytes] = None
+    hctx: int = 0
+    priority: int = 0
+    tag: Any = None
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+    submit_ns: int = -1
+    complete_ns: int = -1
+    done: Optional[Event] = None  # succeeded with the request itself
+
+    def __post_init__(self) -> None:
+        if self.op is IoOp.WRITE:
+            if self.data is None:
+                raise DeviceError("WRITE requires data")
+            if len(self.data) != self.size:
+                raise DeviceError(f"WRITE size {self.size} != len(data) {len(self.data)}")
+
+    @property
+    def latency_ns(self) -> int:
+        if self.complete_ns < 0:
+            raise DeviceError("request not completed")
+        return self.complete_ns - self.submit_ns
+
+    result: Optional[bytes] = None  # filled for READ
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Latency/bandwidth parameterization of a device model.
+
+    ``*_lat_ns``: fixed per-command service latency (media + controller).
+    ``*_bw``: streaming bandwidth in bytes/second.
+    ``jitter``: lognormal sigma applied to service time (0 = deterministic).
+    """
+
+    name: str
+    capacity_bytes: int
+    nqueues: int = 1
+    parallelism: int = 1
+    read_lat_ns: int = 0
+    write_lat_ns: int = 0
+    read_bw: float = 1e9
+    write_bw: float = 1e9
+    flush_lat_ns: int = 0
+    seek_ns: int = 0  # average seek+rotation penalty; >0 enables the HDD seek model
+    jitter: float = 0.0
+
+    def service_ns(
+        self,
+        op: IoOp,
+        size: int,
+        *,
+        seek_frac: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        """Service time for one command. ``seek_frac`` scales the seek term
+        (sequential access on an HDD pays almost none of it)."""
+        if op is IoOp.READ:
+            base = self.read_lat_ns + size / self.read_bw * 1e9
+        elif op is IoOp.WRITE:
+            base = self.write_lat_ns + size / self.write_bw * 1e9
+        elif op is IoOp.FLUSH:
+            base = self.flush_lat_ns
+        else:  # TRIM
+            base = max(self.read_lat_ns, self.write_lat_ns) // 4
+        base += self.seek_ns * seek_frac
+        if self.jitter > 0.0 and rng is not None:
+            base *= float(rng.lognormal(mean=0.0, sigma=self.jitter))
+        return max(1, round(base))
+
+
+class BlockDevice:
+    """Generic device engine: per-hctx FIFO dispatch + bounded parallelism."""
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: DeviceProfile,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.env = env
+        self.profile = profile
+        self.name = profile.name
+        self.rng = rng
+        self.store = self._make_store()
+        self._channels = Resource(env, capacity=profile.parallelism)
+        self._queues = [Store(env) for _ in range(profile.nqueues)]
+        self._last_offset = 0  # for the seek model
+        self.completed = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        for qidx in range(profile.nqueues):
+            env.process(self._dispatch_loop(qidx), name=f"{self.name}.hctx{qidx}")
+
+    def _make_store(self):
+        from .backing import BackingStore
+
+        return BackingStore(self.profile.capacity_bytes)
+
+    # -- submission API ---------------------------------------------------
+    @property
+    def nqueues(self) -> int:
+        return self.profile.nqueues
+
+    def queue_depth(self, hctx: int) -> int:
+        """Requests currently waiting (not yet in service) on an hctx."""
+        return len(self._queues[hctx])
+
+    def submit(self, req: BlockRequest) -> Event:
+        """Queue a request on its hctx; returns the completion event."""
+        if not 0 <= req.hctx < self.profile.nqueues:
+            raise DeviceError(f"bad hctx {req.hctx}", device=self.name)
+        req.submit_ns = self.env.now
+        req.done = self.env.event()
+        self._queues[req.hctx].put(req)
+        return req.done
+
+    # -- engine -------------------------------------------------------------
+    def _seek_frac(self, req: BlockRequest) -> float:
+        """1.0 for a random jump, ~0 for sequential continuation."""
+        if self.profile.seek_ns == 0:
+            return 0.0
+        distance = abs(req.offset - self._last_offset)
+        if distance == 0:
+            return 0.02  # settled head, same track
+        # Scale: full-stroke ~ capacity; short strokes pay proportionally less,
+        # floor of 25% for any non-sequential access (rotational latency).
+        return min(1.0, 0.25 + 0.75 * distance / self.profile.capacity_bytes)
+
+    def _dispatch_loop(self, qidx: int):
+        """Pull requests off the hctx in FIFO order; each waits for one of
+        the device's internal channels, then services concurrently."""
+        queue = self._queues[qidx]
+        while True:
+            req: BlockRequest = yield queue.get()
+            slot = self._channels.request()
+            yield slot
+            self.env.process(self._service(req, slot, qidx))
+
+    def _service(self, req: BlockRequest, slot, qidx: int):
+        service = self.profile.service_ns(
+            req.op, req.size, seek_frac=self._seek_frac(req), rng=self.rng
+        )
+        self._last_offset = req.offset + req.size
+        yield self.env.timeout(service)
+        self._apply(req)
+        self._channels.release(slot)
+        req.complete_ns = self.env.now
+        self.completed += 1
+        self._on_complete(req, qidx)
+        req.done.succeed(req)
+
+    def _on_complete(self, req: BlockRequest, qidx: int) -> None:
+        """Hook for subclasses (NVMe fills its poll-mode completion ring)."""
+
+    def _apply(self, req: BlockRequest) -> None:
+        if req.op is IoOp.WRITE:
+            assert req.data is not None
+            self.store.write(req.offset, req.data)
+            self.bytes_written += req.size
+        elif req.op is IoOp.READ:
+            req.result = self.store.read(req.offset, req.size)
+            self.bytes_read += req.size
+        elif req.op is IoOp.TRIM:
+            self.store.discard(req.offset, req.size)
+        # FLUSH: no data effect (writes apply immediately in this model; the
+        # page-cache layer above is what delays durability).

@@ -1,0 +1,56 @@
+"""Persistent-memory model: byte-addressable load/store plus block compat.
+
+DAX-style access (the paper's DAX Driver LabMod) maps the device into the
+address space and moves data with CPU load/store — no queues, no commands.
+We model that as synchronous transfers priced by a fixed media latency plus
+a bandwidth term.  The kernel path still drives PMEM through ``submit_bio``
+(single queue), which this class also supports via the BlockDevice engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DeviceError
+from ..sim import Environment
+from .base import BlockDevice, DeviceProfile, IoOp
+
+__all__ = ["Pmem"]
+
+
+class Pmem(BlockDevice):
+    """Emulated persistent memory (DRAM-backed, as in the paper's testbed)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: DeviceProfile,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if profile.nqueues != 1:
+            raise ValueError("PMEM block-compat path uses a single bio queue")
+        super().__init__(env, profile, rng)
+
+    # -- DAX byte-addressable path ---------------------------------------
+    def store_ns(self, size: int) -> int:
+        """Cost of a CPU store sequence of `size` bytes (+ persist fence)."""
+        return self.profile.service_ns(IoOp.WRITE, size, rng=self.rng)
+
+    def load_ns(self, size: int) -> int:
+        return self.profile.service_ns(IoOp.READ, size, rng=self.rng)
+
+    def dax_store(self, offset: int, data: bytes):
+        """Process generator: persist ``data`` at ``offset`` via load/store."""
+        if offset < 0 or offset + len(data) > self.profile.capacity_bytes:
+            raise DeviceError("DAX store out of range", device=self.name)
+        yield self.env.timeout(self.store_ns(len(data)))
+        self.store.write(offset, data)
+        self.bytes_written += len(data)
+
+    def dax_load(self, offset: int, size: int):
+        """Process generator: read ``size`` bytes; returns the bytes."""
+        if offset < 0 or offset + size > self.profile.capacity_bytes:
+            raise DeviceError("DAX load out of range", device=self.name)
+        yield self.env.timeout(self.load_ns(size))
+        self.bytes_read += size
+        return self.store.read(offset, size)

@@ -1,0 +1,133 @@
+"""Named device profiles matching the paper's Chameleon testbed.
+
+The testbed (Section IV): Intel P3700 NVMe (2TB), Intel SSDSC2BX01 SATA SSD
+(1.6TB), Seagate ST600MP0005 HDD (600GB), and bootloader-emulated PMEM.
+Absolute numbers are calibrated so the *relative* results (Fig 4 anatomy
+fractions, Fig 6 interface ordering, Fig 8 HOL blocking) reproduce; see
+DESIGN.md "Calibration constants".
+
+Capacities default to small simulation-friendly sizes; pass
+``capacity_bytes`` for bigger runs (the backing store is sparse, so only
+written pages cost memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim import Environment
+from ..units import GiB, usec, msec
+from .base import DeviceProfile
+from .hdd import Hdd
+from .nvme import Nvme
+from .zns import ZnsNvme
+from .pmem import Pmem
+from .ssd import SataSsd
+
+__all__ = [
+    "NVME_P3700",
+    "SATA_SSD_BX",
+    "HDD_ST600",
+    "PMEM_EMULATED",
+    "ZNS_NVME",
+    "PROFILES",
+    "make_device",
+]
+
+NVME_P3700 = DeviceProfile(
+    name="nvme",
+    capacity_bytes=8 * GiB,
+    nqueues=8,
+    parallelism=8,
+    read_lat_ns=usec(12.0),
+    write_lat_ns=usec(14.0),
+    read_bw=2.8e9,
+    write_bw=2.0e9,
+    flush_lat_ns=usec(10.0),
+)
+
+SATA_SSD_BX = DeviceProfile(
+    name="ssd",
+    capacity_bytes=8 * GiB,
+    nqueues=1,
+    parallelism=4,
+    read_lat_ns=usec(55.0),
+    write_lat_ns=usec(60.0),
+    read_bw=0.55e9,
+    write_bw=0.46e9,
+    flush_lat_ns=usec(40.0),
+)
+
+HDD_ST600 = DeviceProfile(
+    name="hdd",
+    capacity_bytes=8 * GiB,
+    nqueues=1,
+    parallelism=1,
+    read_lat_ns=usec(50.0),
+    write_lat_ns=usec(50.0),
+    read_bw=0.16e9,
+    write_bw=0.15e9,
+    flush_lat_ns=msec(1.0),
+    seek_ns=msec(4.0),
+)
+
+ZNS_NVME = DeviceProfile(
+    name="zns",
+    capacity_bytes=8 * GiB,
+    nqueues=8,
+    parallelism=8,
+    read_lat_ns=usec(12.0),
+    write_lat_ns=usec(11.0),   # appends skip the FTL's mapping updates
+    read_bw=2.8e9,
+    write_bw=2.2e9,
+    flush_lat_ns=usec(8.0),
+)
+
+PMEM_EMULATED = DeviceProfile(
+    name="pmem",
+    capacity_bytes=4 * GiB,
+    nqueues=1,
+    parallelism=1,
+    read_lat_ns=300,
+    write_lat_ns=350,
+    read_bw=12e9,
+    write_bw=8e9,
+    flush_lat_ns=150,
+)
+
+PROFILES: dict[str, DeviceProfile] = {
+    "nvme": NVME_P3700,
+    "ssd": SATA_SSD_BX,
+    "hdd": HDD_ST600,
+    "pmem": PMEM_EMULATED,
+    "zns": ZNS_NVME,
+}
+
+_CLASSES = {"nvme": Nvme, "ssd": SataSsd, "hdd": Hdd, "pmem": Pmem, "zns": ZnsNvme}
+
+
+def make_device(
+    env: Environment,
+    kind: str,
+    *,
+    capacity_bytes: int | None = None,
+    rng: np.random.Generator | None = None,
+    **overrides,
+):
+    """Build a device of ``kind`` ('nvme' | 'ssd' | 'hdd' | 'pmem').
+
+    ``overrides`` replace any :class:`DeviceProfile` field, e.g.
+    ``make_device(env, "nvme", nqueues=16)``.
+    """
+    try:
+        profile = PROFILES[kind]
+    except KeyError:
+        raise ValueError(f"unknown device kind {kind!r}; choose from {sorted(PROFILES)}") from None
+    changes = dict(overrides)
+    if capacity_bytes is not None:
+        changes["capacity_bytes"] = capacity_bytes
+    if changes:
+        import dataclasses
+
+        profile = dataclasses.replace(profile, **changes)
+    return _CLASSES[kind](env, profile, rng)

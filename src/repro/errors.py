@@ -1,0 +1,68 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency in the discrete-event simulation kernel."""
+
+
+class DeviceError(ReproError):
+    """Invalid operation against a simulated storage device."""
+
+    def __init__(self, message: str, *, device: str | None = None) -> None:
+        super().__init__(message if device is None else f"{device}: {message}")
+        self.device = device
+
+
+class OutOfSpaceError(DeviceError):
+    """A block/byte allocation could not be satisfied."""
+
+
+class KernelError(ReproError):
+    """Errors raised by the simulated Linux kernel substrate."""
+
+
+class FsError(KernelError):
+    """Filesystem-level failure; carries a POSIX-style errno name."""
+
+    def __init__(self, errno_name: str, message: str) -> None:
+        super().__init__(f"[{errno_name}] {message}")
+        self.errno_name = errno_name
+
+
+class PermissionDenied(FsError):
+    def __init__(self, message: str = "permission denied") -> None:
+        super().__init__("EACCES", message)
+
+
+class IpcError(ReproError):
+    """Queue-pair / shared-memory violations (bad grant, full queue, ...)."""
+
+
+class ShmAccessError(IpcError):
+    """A process touched a shared-memory region it was never granted."""
+
+
+class LabStorError(ReproError):
+    """Errors raised by the LabStor core (modules, stacks, runtime)."""
+
+
+class ModuleNotFound(LabStorError):
+    """A LabMod UUID was not present in the Module Registry."""
+
+
+class StackValidationError(LabStorError):
+    """A LabStack specification failed validation at mount time."""
+
+
+class UpgradeError(LabStorError):
+    """A live-upgrade protocol step failed."""
+
+
+class RuntimeCrashed(LabStorError):
+    """The LabStor Runtime is offline and did not restart within the wait window."""

@@ -1,0 +1,50 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+=====  ==========================  ===============================
+id     paper artifact              module
+=====  ==========================  ===============================
+E1     Fig 4(a) I/O anatomy        anatomy
+E2     Table I live upgrade        live_upgrade
+E3     Fig 5(a) CPU allocation     orchestration_cpu
+E4     Fig 5(b) partitioning       orchestration_partition
+E5     Fig 6 storage APIs          storage_api
+E6     Fig 7 metadata              metadata
+E7     Fig 8 / Table II sched      schedulers
+E8     Fig 9(a) PFS                pfs_eval
+E9     Fig 9(b) LABIOS             labios_eval
+E10    Fig 9(c) Filebench          filebench_eval
+=====  ==========================  ===============================
+
+Each module exposes ``run_*`` (one configuration), ``sweep_*`` (the full
+figure), and ``format_*`` (the paper-style table).
+"""
+
+from . import (
+    ablations,
+    anatomy,
+    filebench_eval,
+    labios_eval,
+    live_upgrade,
+    metadata,
+    orchestration_cpu,
+    orchestration_partition,
+    pfs_eval,
+    report,
+    schedulers,
+    storage_api,
+)
+
+__all__ = [
+    "anatomy",
+    "live_upgrade",
+    "orchestration_cpu",
+    "orchestration_partition",
+    "storage_api",
+    "metadata",
+    "schedulers",
+    "pfs_eval",
+    "labios_eval",
+    "filebench_eval",
+    "ablations",
+    "report",
+]

@@ -1,0 +1,95 @@
+"""Regenerate the paper's tables from the command line.
+
+Usage::
+
+    python -m repro.experiments              # every figure (several minutes)
+    python -m repro.experiments anatomy fig6 # selected figures
+    python -m repro.experiments --list
+
+Figure names: anatomy, table1, fig5a, fig5b, fig6, fig7, fig8, fig9a,
+fig9b, fig9c, ablations.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import (
+    ablations,
+    anatomy,
+    filebench_eval,
+    labios_eval,
+    live_upgrade,
+    metadata,
+    orchestration_cpu,
+    orchestration_partition,
+    pfs_eval,
+    schedulers,
+    storage_api,
+)
+
+
+def _run_anatomy():
+    for op in ("write", "read"):
+        print(anatomy.format_anatomy(anatomy.run_anatomy(op, nops=64)))
+        print()
+
+
+def _run_ablations():
+    print(ablations.format_ablation(ablations.ablate_allocator(),
+                                    "Ablation — allocator"))
+    print()
+    print(ablations.format_ablation(ablations.ablate_ipc_cost(),
+                                    "Ablation — IPC hop cost"))
+    print()
+    print(ablations.format_ablation(ablations.ablate_exec_mode(),
+                                    "Ablation — exec mode"))
+    print()
+    print(ablations.format_ablation(ablations.ablate_consistency(),
+                                    "Ablation — consistency"))
+    print()
+    print(ablations.format_ablation(ablations.ablate_cache_capacity(),
+                                    "Ablation — LRU capacity"))
+
+
+FIGURES = {
+    "anatomy": _run_anatomy,
+    "table1": lambda: print(live_upgrade.format_live_upgrade(
+        live_upgrade.sweep_live_upgrade(nmessages=4000, upgrade_counts=(0, 8, 16, 32)))),
+    "fig5a": lambda: print(orchestration_cpu.format_orchestration_cpu(
+        orchestration_cpu.sweep_orchestration_cpu(ops_per_client=500))),
+    "fig5b": lambda: print(orchestration_partition.format_partition(
+        orchestration_partition.sweep_partition(creates_per_thread=100, writes_per_thread=5))),
+    "fig6": lambda: print(storage_api.format_storage_api(
+        storage_api.sweep_storage_api(nops=200, hdd_nops=30))),
+    "fig7": lambda: print(metadata.format_metadata(
+        metadata.sweep_metadata(files_per_thread=50))),
+    "fig8": lambda: print(schedulers.format_schedulers(
+        schedulers.sweep_schedulers(l_nops=100, t_nops=100))),
+    "fig9a": lambda: print(pfs_eval.format_pfs(pfs_eval.sweep_pfs())),
+    "fig9b": lambda: print(labios_eval.format_labios(
+        labios_eval.sweep_labios(nlabels=120))),
+    "fig9c": lambda: print(filebench_eval.format_filebench(
+        filebench_eval.sweep_filebench(nthreads=4, loops=4))),
+    "ablations": _run_ablations,
+}
+
+
+def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        print("\n".join(FIGURES))
+        return 0
+    names = [a for a in argv if not a.startswith("-")] or list(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; try --list", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+        FIGURES[name]()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,176 @@
+"""Ablations of LabStor's design choices (beyond the paper's figures).
+
+The paper motivates several design decisions without isolating them; these
+harnesses do the isolation:
+
+- **allocator**: LabFS's per-worker block allocator vs a single-lock
+  central free list (what kernel FS bitmap locks look like).
+- **ipc_cost**: sensitivity of metadata throughput to the shared-memory
+  hop price — quantifies why LabStor insists on shm queues instead of
+  sockets/pipes (which would sit at several µs per hop).
+- **exec_mode**: centralized (async, via Runtime workers) vs
+  decentralized (sync, client-side) execution across request sizes — the
+  crossover where IPC amortizes away.
+- **consistency**: the throughput price of each guarantee level
+  (strict / standard / relaxed).
+- **cache**: LRU capacity vs read latency (hit-rate curve).
+"""
+
+from __future__ import annotations
+
+from ..core.labstack import NodeSpec
+from ..core.runtime import RuntimeConfig
+from ..kernel.cpu import CostModel
+from ..mods.generic_fs import GenericFS
+from ..system import LabStorSystem
+from ..units import KiB, sec
+from .report import format_table
+
+__all__ = [
+    "ablate_allocator",
+    "ablate_ipc_cost",
+    "ablate_exec_mode",
+    "ablate_consistency",
+    "ablate_cache_capacity",
+    "format_ablation",
+]
+
+
+def _writer_fleet(sys_, mount, nthreads, files_per_thread, write_size):
+    def writer(gfs, tid):
+        for i in range(files_per_thread):
+            fd = yield from gfs.open(f"{mount}/t{tid}_{i}", create=True)
+            yield from gfs.write(fd, b"w" * write_size, offset=0)
+            yield from gfs.close(fd)
+
+    start = sys_.env.now
+    procs = [sys_.process(writer(GenericFS(sys_.client()), t)) for t in range(nthreads)]
+    sys_.run(sys_.env.all_of(procs))
+    total = nthreads * files_per_thread
+    return total / ((sys_.env.now - start) / sec(1))
+
+
+def ablate_allocator(*, nthreads: int = 8, files_per_thread: int = 12,
+                     write_size: int = 64 * KiB, seed: int = 0) -> list[dict]:
+    rows = []
+    for allocator in ("perworker", "centralized"):
+        sys_ = LabStorSystem(seed=seed, devices=("nvme",),
+                             config=RuntimeConfig(nworkers=8, ncores=32))
+        spec = sys_.fs_stack_spec("fs::/a", variant="min")
+        next(n for n in spec.nodes if n.uuid.endswith("labfs")).attrs["allocator"] = allocator
+        sys_.runtime.mount_stack(spec)
+        ops = _writer_fleet(sys_, "fs::/a", nthreads, files_per_thread, write_size)
+        rows.append({"config": allocator, "files_per_sec": ops})
+    return rows
+
+
+def ablate_ipc_cost(*, hop_costs=(250, 950, 3000, 8000), nthreads: int = 4,
+                    files_per_thread: int = 40, seed: int = 0) -> list[dict]:
+    """Metadata throughput as the queue-hop price grows (950ns = shm;
+    3-8µs ≈ pipe/socket-grade IPC)."""
+    rows = []
+    for hop in hop_costs:
+        cost = CostModel().with_overrides(shm_hop_ns=hop)
+        sys_ = LabStorSystem(seed=seed, devices=("nvme",), cost=cost,
+                             config=RuntimeConfig(nworkers=8, ncores=32))
+        sys_.mount_fs_stack("fs::/i", variant="min")
+
+        def creator(gfs, tid):
+            for i in range(files_per_thread):
+                fd = yield from gfs.open(f"fs::/i/t{tid}_{i}", create=True)
+                yield from gfs.close(fd)
+
+        start = sys_.env.now
+        procs = [sys_.process(creator(GenericFS(sys_.client()), t)) for t in range(nthreads)]
+        sys_.run(sys_.env.all_of(procs))
+        total = nthreads * files_per_thread
+        rows.append({
+            "config": f"hop={hop}ns",
+            "kops_per_sec": total / ((sys_.env.now - start) / sec(1)) / 1000,
+        })
+    return rows
+
+
+def ablate_exec_mode(*, sizes=(4 * KiB, 64 * KiB, 1024 * KiB), nops: int = 30,
+                     seed: int = 0) -> list[dict]:
+    """Async (Runtime) vs sync (client) execution across write sizes."""
+    rows = []
+    for variant in ("min", "d"):
+        for size in sizes:
+            sys_ = LabStorSystem(seed=seed, devices=("nvme",))
+            sys_.mount_fs_stack("fs::/x", variant=variant)
+            gfs = GenericFS(sys_.client())
+
+            def proc():
+                fd = yield from gfs.open("fs::/x/f", create=True)
+                start = sys_.env.now
+                for i in range(nops):
+                    yield from gfs.write(fd, b"e" * size, offset=i * size)
+                return (sys_.env.now - start) / nops
+
+            lat = sys_.run(sys_.process(proc()))
+            rows.append({
+                "config": f"{'async' if variant == 'min' else 'sync'} {size // 1024}KB",
+                "lat_us": lat / 1000,
+            })
+    return rows
+
+
+def ablate_consistency(*, nops: int = 40, seed: int = 0) -> list[dict]:
+    rows = []
+    for policy in ("strict", "standard", "relaxed"):
+        sys_ = LabStorSystem(seed=seed, devices=("nvme",))
+        spec = sys_.fs_stack_spec("fs::/c", variant="min")
+        anchor = next(n for n in spec.nodes if n.uuid.endswith("labfs"))
+        node = NodeSpec(mod_name="ConsistencyMod", uuid=f"abl.{policy}",
+                        attrs={"policy": policy})
+        node.outputs = list(anchor.outputs)
+        anchor.outputs = [node.uuid]
+        spec.nodes.insert(spec.nodes.index(anchor) + 1, node)
+        sys_.runtime.mount_stack(spec)
+        gfs = GenericFS(sys_.client())
+
+        def proc():
+            fd = yield from gfs.open("fs::/c/f", create=True)
+            start = sys_.env.now
+            for i in range(nops):
+                yield from gfs.write(fd, b"c" * 4096, offset=i * 4096)
+                yield from gfs.fsync(fd)
+            return nops / ((sys_.env.now - start) / sec(1))
+
+        rows.append({"config": policy, "ops_per_sec": sys_.run(sys_.process(proc()))})
+    return rows
+
+
+def ablate_cache_capacity(*, capacities=(64, 1024, 16_384), nfiles: int = 32,
+                          file_size: int = 16 * KiB, seed: int = 0) -> list[dict]:
+    rows = []
+    for cap in capacities:
+        sys_ = LabStorSystem(seed=seed, devices=("nvme",))
+        spec = sys_.fs_stack_spec("fs::/l", variant="min")
+        next(n for n in spec.nodes if n.uuid.endswith("lru")).attrs["capacity_pages"] = cap
+        stack = sys_.runtime.mount_stack(spec)
+        gfs = GenericFS(sys_.client())
+
+        def proc():
+            for i in range(nfiles):
+                yield from gfs.write_file(f"fs::/l/f{i}", b"r" * file_size)
+            start = sys_.env.now
+            for rnd in range(3):
+                for i in range(nfiles):
+                    yield from gfs.read_file(f"fs::/l/f{i}")
+            return (sys_.env.now - start) / (3 * nfiles)
+
+        lat = sys_.run(sys_.process(proc()))
+        lru = next(m for u, m in stack.mods.items() if u.endswith("lru"))
+        hit_rate = lru.hits / max(1, lru.hits + lru.misses)
+        rows.append({"config": f"{cap} pages", "read_lat_us": lat / 1000,
+                     "hit_rate": hit_rate})
+    return rows
+
+
+def format_ablation(rows: list[dict], title: str) -> str:
+    if not rows:
+        return title + " (no rows)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[r[h] for h in headers] for r in rows], title=title)

@@ -1,0 +1,93 @@
+"""Shared builders for the experiment harnesses.
+
+Each experiment needs the same ingredients in different mixes: a kernel
+filesystem on a device, or a LabStor system with one of the canonical
+stack variants and per-thread clients.  These helpers keep the
+per-experiment modules declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.runtime import RuntimeConfig
+from ..devices.profiles import make_device
+from ..kernel import make_filesystem
+from ..mods.generic_fs import GenericFS
+from ..mods.generic_kvs import GenericKVS
+from ..sim import Environment
+from ..system import LabStorSystem
+from ..workloads.fsapi import GenericFsAdapter, KernelFsAdapter
+
+__all__ = [
+    "KERNEL_FSES",
+    "LAB_VARIANTS",
+    "kernel_fs_api",
+    "LabFsFixture",
+    "LabKvsFixture",
+]
+
+KERNEL_FSES = ("ext4", "xfs", "f2fs")
+LAB_VARIANTS = ("all", "min", "d")
+
+
+def kernel_fs_api(device: str = "nvme", fs_name: str = "ext4", **fs_kw):
+    """(env, api, fs, device) for a kernel-FS baseline."""
+    env = Environment()
+    dev = make_device(env, device)
+    fs = make_filesystem(fs_name, env, dev, **fs_kw)
+    return env, KernelFsAdapter(fs), fs, dev
+
+
+@dataclass
+class LabFsFixture:
+    """A LabStor system with one LabFS stack and per-thread GenericFS APIs."""
+
+    system: LabStorSystem
+    mount: str
+
+    @classmethod
+    def build(cls, *, variant: str = "all", device: str = "nvme",
+              nworkers: int = 8, policy: str = "rr", mount: str = "fs::/x",
+              config: RuntimeConfig | None = None, **stack_kw) -> "LabFsFixture":
+        cfg = config or RuntimeConfig(nworkers=nworkers, policy=policy,
+                                      max_workers=max(16, nworkers))
+        sys_ = LabStorSystem(devices=(device,), config=cfg)
+        sys_.mount_fs_stack(mount, variant=variant, device=device, **stack_kw)
+        return cls(system=sys_, mount=mount)
+
+    def api_factory(self):
+        """Per-thread FsApi factory (one client per tid)."""
+        cache: dict[int, GenericFsAdapter] = {}
+
+        def factory(tid: int) -> GenericFsAdapter:
+            if tid not in cache:
+                cache[tid] = GenericFsAdapter(GenericFS(self.system.client()), self.mount)
+            return cache[tid]
+
+        return factory
+
+    @property
+    def env(self):
+        return self.system.env
+
+
+@dataclass
+class LabKvsFixture:
+    system: LabStorSystem
+    mount: str
+
+    @classmethod
+    def build(cls, *, variant: str = "all", device: str = "nvme",
+              nworkers: int = 1, mount: str = "kvs::/x", **stack_kw) -> "LabKvsFixture":
+        cfg = RuntimeConfig(nworkers=nworkers)
+        sys_ = LabStorSystem(devices=(device,), config=cfg)
+        sys_.mount_kvs_stack(mount, variant=variant, device=device, **stack_kw)
+        return cls(system=sys_, mount=mount)
+
+    def kvs(self) -> GenericKVS:
+        return GenericKVS(self.system.client(), self.mount)
+
+    @property
+    def env(self):
+        return self.system.env

@@ -1,0 +1,76 @@
+"""E10 — Cloud workloads: Filebench (paper Fig 9(c,d)).
+
+The four default Filebench personalities over NVMe (the paper notes PMEM
+gives identical trends, which this harness can also run), comparing
+ext4/xfs/f2fs against Lab-All / Lab-Min / Lab-D LabFS stacks with the
+Runtime at 8 workers.
+
+Paper shape: LabFS stacks up to ~2.5x on varmail/webserver/webproxy
+(metadata- and small-I/O-bound); fileserver is bandwidth-bound and shows
+little difference.
+"""
+
+from __future__ import annotations
+
+from ..core.runtime import RuntimeConfig
+from ..workloads.filebench import PERSONALITIES, run_personality
+from .common import KERNEL_FSES, LabFsFixture, kernel_fs_api
+from .report import format_table
+
+__all__ = ["run_filebench", "sweep_filebench", "format_filebench", "FB_CONFIGS"]
+
+FB_CONFIGS = ("ext4", "xfs", "f2fs", "lab-all", "lab-min", "lab-d")
+
+
+def run_filebench(config: str, personality: str, *, device: str = "nvme",
+                  nthreads: int = 4, loops: int = 6, seed: int = 0) -> dict:
+    if config in KERNEL_FSES:
+        # page cache sized so sustained fileserver writes trigger writeback
+        # during the (scaled) run, as on a real machine under steady state
+        env, api, _fs, _dev = kernel_fs_api(device, config, cache_pages=4096)
+        result = run_personality(env, lambda tid: api, personality,
+                                 nthreads=nthreads, loops=loops, seed=seed)
+    else:
+        variant = config.split("-", 1)[1]
+        fixture = LabFsFixture.build(
+            variant=variant, nworkers=8, device=device,
+            config=RuntimeConfig(nworkers=8, min_workers=8, max_workers=16, ncores=32),
+        )
+        result = run_personality(fixture.env, fixture.api_factory(), personality,
+                                 nthreads=nthreads, loops=loops, seed=seed)
+    return {
+        "config": config,
+        "personality": personality,
+        "kops_per_sec": result.ops_per_sec / 1000,
+        "MBps": result.throughput_MBps,
+    }
+
+
+def sweep_filebench(*, personalities=tuple(PERSONALITIES), configs=FB_CONFIGS,
+                    device: str = "nvme", nthreads: int = 4, loops: int = 5,
+                    seed: int = 0) -> list[dict]:
+    rows = []
+    for personality in personalities:
+        for config in configs:
+            rows.append(run_filebench(config, personality, device=device,
+                                      nthreads=nthreads, loops=loops, seed=seed))
+    return rows
+
+
+def format_filebench(rows: list[dict]) -> str:
+    personalities = []
+    configs = []
+    for r in rows:
+        if r["personality"] not in personalities:
+            personalities.append(r["personality"])
+        if r["config"] not in configs:
+            configs.append(r["config"])
+    table = []
+    for config in configs:
+        vals = {r["personality"]: r["kops_per_sec"] for r in rows if r["config"] == config}
+        table.append([config] + [f"{vals.get(p, 0):.1f}" for p in personalities])
+    return format_table(
+        ["config \\ workload"] + list(personalities),
+        table,
+        title="Fig 9(c) — Filebench throughput (K ops/sec) on NVMe",
+    )

@@ -1,0 +1,54 @@
+"""E9 — Customizing I/O interfaces: LABIOS workers (paper Fig 9(b)).
+
+LABIOS workers persist 8KB *labels*.  On a filesystem backend each label
+costs open/seek/write/close; on LabKVS it is one put.  We compare
+ext4/xfs/f2fs against LabKVS-All / LabKVS-Min / LabKVS-D on NVMe and
+PMEM (the paper omits HDD: seek-bound, nothing to win).
+
+Paper shape: filesystems degrade >=12% vs LabKVS; relaxing LabKVS's
+access-control guarantees buys up to an additional 16%.
+"""
+
+from __future__ import annotations
+
+from .common import KERNEL_FSES, LabKvsFixture, kernel_fs_api
+from ..workloads.labios import run_labios_fs, run_labios_kvs
+from .report import format_table
+
+__all__ = ["run_labios_backend", "sweep_labios", "format_labios", "BACKENDS"]
+
+BACKENDS = ("ext4", "xfs", "f2fs", "labkvs-all", "labkvs-min", "labkvs-d")
+
+
+def run_labios_backend(backend: str, *, device: str = "nvme", nlabels: int = 200,
+                       label_size: int = 8192, seed: int = 0) -> dict:
+    if backend in KERNEL_FSES:
+        env, api, _fs, _dev = kernel_fs_api(device, backend)
+        result = run_labios_fs(env, api, nlabels=nlabels, label_size=label_size, seed=seed)
+    else:
+        variant = backend.split("-", 1)[1]
+        fixture = LabKvsFixture.build(variant=variant, device=device, nworkers=1)
+        result = run_labios_kvs(fixture.env, fixture.kvs(), nlabels=nlabels,
+                                label_size=label_size, seed=seed)
+    return {
+        "backend": backend,
+        "device": device,
+        "MBps": result.throughput_MBps,
+        "labels_per_sec": result.labels_per_sec,
+    }
+
+
+def sweep_labios(*, devices=("nvme", "pmem"), nlabels: int = 150, seed: int = 0) -> list[dict]:
+    rows = []
+    for device in devices:
+        for backend in BACKENDS:
+            rows.append(run_labios_backend(backend, device=device, nlabels=nlabels, seed=seed))
+    return rows
+
+
+def format_labios(rows: list[dict]) -> str:
+    return format_table(
+        ["device", "backend", "MB/s", "labels/s"],
+        [[r["device"], r["backend"], r["MBps"], f"{r['labels_per_sec']:.0f}"] for r in rows],
+        title="Fig 9(b) — LABIOS worker throughput (8KB labels)",
+    )

@@ -1,0 +1,49 @@
+"""Plain-text table/report formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_kv", "normalize"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None, floatfmt: str = ".2f") -> str:
+    """Render an aligned ASCII table (the shape the paper's tables use)."""
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: dict[str, Any]) -> str:
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title]
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            v = f"{v:.3f}"
+        lines.append(f"  {k.ljust(width)} : {v}")
+    return "\n".join(lines)
+
+
+def normalize(values: dict[str, float]) -> dict[str, float]:
+    """Scale a metric dict so the best entry is 1.0 (paper Fig 6 style)."""
+    best = max(values.values())
+    if best <= 0:
+        return {k: 0.0 for k in values}
+    return {k: v / best for k, v in values.items()}

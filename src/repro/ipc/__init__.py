@@ -1,0 +1,16 @@
+"""Shared-memory IPC: segments with grants, queue pairs, and the manager."""
+
+from .manager import ClientConn, IpcManager, UDS_HANDSHAKE_NS
+from .queue_pair import Completion, QueueFlag, QueuePair
+from .shmem import SharedMemorySegment, ShMemManager
+
+__all__ = [
+    "IpcManager",
+    "ClientConn",
+    "UDS_HANDSHAKE_NS",
+    "QueuePair",
+    "QueueFlag",
+    "Completion",
+    "SharedMemorySegment",
+    "ShMemManager",
+]

@@ -1,0 +1,176 @@
+"""Queue Pairs: the submission/completion rings between clients and workers.
+
+Properties (Section III-C1 of the paper):
+
+- **primary** queues are where clients initiate requests (shared memory);
+  **intermediate** queues hold requests spawned by other requests
+  (private memory, no access check).
+- **ordered** queues must be drained by a single worker in sequence;
+  **unordered** queues may be processed by several workers.
+- primary queues participate in the live-upgrade protocol via the
+  ``UPDATE_PENDING`` / ``UPDATE_ACKED`` flags.
+
+The cross-core cache-transfer cost of popping an entry (the 8.4% "IPC"
+slice of the paper's Fig 4 anatomy) is charged on each pop via
+``pop_cost_ns``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+from ..errors import IpcError, ShmAccessError
+from ..sim import Environment, Event, Store
+from .shmem import SharedMemorySegment
+
+__all__ = ["QueueFlag", "QueuePair", "Completion"]
+
+_qids = itertools.count(1)
+
+
+class QueueFlag(enum.Enum):
+    NORMAL = "normal"
+    UPDATE_PENDING = "update_pending"
+    UPDATE_ACKED = "update_acked"
+
+
+class Completion:
+    """Completion record placed on the CQ; pairs with one submission."""
+
+    __slots__ = ("request", "value", "error")
+
+    def __init__(self, request: Any, value: Any = None, error: Optional[BaseException] = None):
+        self.request = request
+        self.value = value
+        self.error = error
+
+
+class QueuePair:
+    """A submission queue + completion queue in shared or private memory."""
+
+    def __init__(
+        self,
+        env: Environment,
+        *,
+        primary: bool = True,
+        ordered: bool = True,
+        depth: int | None = 4096,
+        segment: SharedMemorySegment | None = None,
+        pop_cost_ns: int = 950,
+    ) -> None:
+        self.env = env
+        self.qid = next(_qids)
+        self.primary = primary
+        self.ordered = ordered
+        self.segment = segment
+        self.pop_cost_ns = pop_cost_ns
+        self.sq: Store = Store(env, capacity=depth)
+        self.cq: Store = Store(env, capacity=depth)
+        self.flag = QueueFlag.NORMAL
+        self.inflight = 0  # submitted but not completed
+        self.submitted_total = 0
+        self.completed_total = 0
+        self._drain_waiters: list[Event] = []
+        # Work Orchestrator bookkeeping: estimated processing time of queued
+        # work, plus an EWMA of per-request estimates that persists across
+        # empty periods (queue classification must not depend on catching
+        # the queue non-empty at rebalance time)
+        self.est_queued_ns = 0
+        self.est_ewma_ns = 0.0
+
+    # -- access control ---------------------------------------------------
+    def _check(self, pid: int | None) -> None:
+        if self.segment is not None and pid is not None:
+            self.segment.check(pid)
+
+    # -- submission side ----------------------------------------------------
+    def submit(self, request: Any, pid: int | None = None) -> Event:
+        """Place a request on the SQ. Returns the store-accept event."""
+        self._check(pid)
+        if self.flag is not QueueFlag.NORMAL and self.primary:
+            # Paused for upgrade: the entry still lands in the SQ, but no
+            # worker will pop it until the Module Manager resumes the queue.
+            pass
+        self.inflight += 1
+        self.submitted_total += 1
+        est = getattr(request, "est_ns", 0)
+        self.est_queued_ns += est
+        # peak-decay tracker: reacts to the first heavy request immediately,
+        # forgets a workload change within a few submissions
+        self.est_ewma_ns = max(0.7 * self.est_ewma_ns, float(est))
+        return self.sq.put(request)
+
+    def pop_request(self, pid: int | None = None):
+        """Process generator: worker-side pop (pays the cross-core hop)."""
+        self._check(pid)
+        request = yield self.sq.get()
+        yield self.env.timeout(self.pop_cost_ns)
+        self.est_queued_ns -= getattr(request, "est_ns", 0)
+        return request
+
+    def try_pop_request(self, pid: int | None = None) -> Any | None:
+        """Non-blocking pop (no hop cost charged here; caller charges it)."""
+        self._check(pid)
+        item = self.sq.try_get()
+        if item is not None:
+            self.est_queued_ns -= getattr(item, "est_ns", 0)
+        return item
+
+    @property
+    def sq_depth(self) -> int:
+        return len(self.sq)
+
+    def sq_nonempty(self) -> Event:
+        """Non-consuming event: fires when the SQ holds a request
+        (workers arm this on all their queues before sleeping)."""
+        return self.sq.when_nonempty()
+
+    # -- completion side --------------------------------------------------
+    def complete(self, completion: Completion, pid: int | None = None) -> Event:
+        self._check(pid)
+        self.inflight -= 1
+        self.completed_total += 1
+        if self.inflight < 0:
+            raise IpcError(f"QP {self.qid}: completion without submission")
+        if self.inflight == 0:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for ev in waiters:
+                ev.succeed()
+        return self.cq.put(completion)
+
+    def pop_completion(self, pid: int | None = None):
+        """Process generator: client-side completion reap (pays the hop)."""
+        self._check(pid)
+        completion = yield self.cq.get()
+        yield self.env.timeout(self.pop_cost_ns)
+        return completion
+
+    def drained(self) -> Event:
+        """Event firing when no submissions are in flight (upgrade protocol)."""
+        ev = self.env.event()
+        if self.inflight == 0:
+            ev.succeed()
+        else:
+            self._drain_waiters.append(ev)
+        return ev
+
+    # -- upgrade protocol flags ---------------------------------------------
+    def mark_update_pending(self) -> None:
+        if not self.primary:
+            raise IpcError("only primary queues participate in upgrades")
+        self.flag = QueueFlag.UPDATE_PENDING
+
+    def ack_update(self) -> None:
+        if self.flag is not QueueFlag.UPDATE_PENDING:
+            raise IpcError(f"QP {self.qid}: ack without pending update")
+        self.flag = QueueFlag.UPDATE_ACKED
+
+    def resume(self) -> None:
+        self.flag = QueueFlag.NORMAL
+
+    def __repr__(self) -> str:
+        kind = "primary" if self.primary else "intermediate"
+        order = "ordered" if self.ordered else "unordered"
+        return f"<QP {self.qid} {kind}/{order} sq={len(self.sq)} inflight={self.inflight}>"

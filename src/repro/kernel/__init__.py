@@ -1,0 +1,50 @@
+"""Simulated Linux kernel substrate: CPU, block layer, page cache, FSes, APIs."""
+
+from .block_layer import BlockLayer, KernelBlkSwitch, KernelIoScheduler, KernelNoop
+from .cpu import DEFAULT_COST, CostModel, Cpu
+from .filesystems import (
+    BLOCK_SIZE,
+    Ext4Sim,
+    F2fsSim,
+    FILESYSTEMS,
+    KernelFilesystem,
+    XfsSim,
+    make_filesystem,
+)
+from .interfaces import (
+    INTERFACES,
+    IoInterface,
+    IoUring,
+    Libaio,
+    PosixAio,
+    PosixSync,
+    make_interface,
+)
+from .page_cache import PAGE_SIZE, CachedPage, PageCache
+
+__all__ = [
+    "CostModel",
+    "Cpu",
+    "DEFAULT_COST",
+    "BlockLayer",
+    "KernelIoScheduler",
+    "KernelNoop",
+    "KernelBlkSwitch",
+    "PageCache",
+    "CachedPage",
+    "PAGE_SIZE",
+    "KernelFilesystem",
+    "Ext4Sim",
+    "XfsSim",
+    "F2fsSim",
+    "FILESYSTEMS",
+    "make_filesystem",
+    "BLOCK_SIZE",
+    "IoInterface",
+    "PosixSync",
+    "PosixAio",
+    "Libaio",
+    "IoUring",
+    "INTERFACES",
+    "make_interface",
+]

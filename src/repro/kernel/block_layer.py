@@ -1,0 +1,128 @@
+"""Linux block layer model (blk-mq) with pluggable in-kernel I/O schedulers.
+
+The block layer charges the request-allocation / scheduling / dispatch /
+completion bookkeeping costs that LabStor's Kernel Driver LabMod bypasses
+(the paper's Fig 6 storage-API comparison), and exposes the same
+hctx-selection seam the Fig 8 scheduler experiment customizes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..devices.base import BlockDevice, BlockRequest, IoOp
+from ..sim import Environment
+from .cpu import DEFAULT_COST, CostModel
+
+__all__ = ["KernelIoScheduler", "KernelNoop", "KernelBlkSwitch", "BlockLayer"]
+
+
+class KernelIoScheduler(abc.ABC):
+    """Chooses the hardware dispatch queue for each request."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select_hctx(self, layer: "BlockLayer", size: int, origin_core: int) -> int:
+        ...
+
+    def cost_ns(self, cost: CostModel) -> int:
+        return cost.blk_sched_ns
+
+
+class KernelNoop(KernelIoScheduler):
+    """Maps requests to the hctx of the originating core (Linux none/noop)."""
+
+    name = "linux-noop"
+
+    def select_hctx(self, layer: "BlockLayer", size: int, origin_core: int) -> int:
+        return origin_core % layer.device.nqueues
+
+
+class KernelBlkSwitch(KernelIoScheduler):
+    """blk-switch [20]: lane separation + least-loaded steering.
+
+    blk-switch's core idea is per-class egress lanes: latency-critical
+    (small) requests get dedicated hardware queues that throughput
+    (large) requests never occupy, plus load-aware steering within a
+    lane.  This prevents a latency-sensitive request from queueing
+    behind a throughput app's large writes (the head-of-line blocking
+    Fig 8 demonstrates for noop when colocated).
+    """
+
+    name = "linux-blk-switch"
+    #: requests at or above this size ride the throughput lane
+    large_threshold = 32 * 1024
+
+    @staticmethod
+    def _lanes(nqueues: int) -> int:
+        """Number of queues reserved for the latency lane."""
+        return max(1, nqueues // 4)
+
+    def select_hctx(self, layer: "BlockLayer", size: int, origin_core: int) -> int:
+        nq = layer.device.nqueues
+        k = self._lanes(nq)
+        if nq == 1:
+            return 0
+        if size >= self.large_threshold:
+            lane = range(k, nq)           # throughput lane
+        else:
+            lane = range(0, k)            # dedicated latency lane
+        return min(lane, key=lambda q: (layer.inflight_bytes[q], q))
+
+    def cost_ns(self, cost: CostModel) -> int:
+        # lane classification + load inspection costs more than noop's modulo
+        return cost.blk_sched_ns + 400
+
+
+class BlockLayer:
+    """blk-mq front end over one device."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: BlockDevice,
+        cost: CostModel = DEFAULT_COST,
+        scheduler: KernelIoScheduler | None = None,
+    ) -> None:
+        self.env = env
+        self.device = device
+        self.cost = cost
+        self.scheduler = scheduler or KernelNoop()
+        self.inflight_bytes = [0] * device.nqueues
+        self.submitted = 0
+
+    def set_scheduler(self, scheduler: KernelIoScheduler) -> None:
+        """Swap the elevator (echo > /sys/block/.../scheduler equivalent)."""
+        self.scheduler = scheduler
+
+    def submit_bio(
+        self,
+        op: IoOp,
+        offset: int,
+        size: int,
+        data: bytes | None = None,
+        origin_core: int = 0,
+        hctx: int | None = None,
+    ):
+        """Process generator: full kernel block path for one bio.
+
+        Returns the completed :class:`BlockRequest`.  ``hctx`` overrides
+        scheduler selection (used by LabStor's submit_io_to_hctx, which
+        still rides the tail of this path but skips alloc+sched costs —
+        see mods.drivers).
+        """
+        yield self.env.timeout(self.cost.blk_alloc_ns)
+        if hctx is None:
+            yield self.env.timeout(self.scheduler.cost_ns(self.cost))
+            hctx = self.scheduler.select_hctx(self, size, origin_core)
+        yield self.env.timeout(self.cost.blk_dispatch_ns)
+        req = BlockRequest(op=op, offset=offset, size=size, data=data, hctx=hctx)
+        self.inflight_bytes[hctx] += size
+        self.submitted += 1
+        try:
+            yield self.device.submit(req)
+        finally:
+            self.inflight_bytes[hctx] -= size
+        yield self.env.timeout(self.cost.blk_complete_ns)
+        return req

@@ -1,0 +1,30 @@
+"""Kernel filesystem baselines (ext4 / XFS / F2FS)."""
+
+from .base import BLOCK_SIZE, Inode, KernelFilesystem, OpenFile
+from .ext4 import Ext4Sim
+from .f2fs import F2fsSim
+from .xfs import XfsSim
+
+FILESYSTEMS = {"ext4": Ext4Sim, "xfs": XfsSim, "f2fs": F2fsSim}
+
+
+def make_filesystem(name, env, device, **kw):
+    """Build a kernel filesystem baseline by name ('ext4'|'xfs'|'f2fs')."""
+    try:
+        cls = FILESYSTEMS[name]
+    except KeyError:
+        raise ValueError(f"unknown filesystem {name!r}; choose from {sorted(FILESYSTEMS)}") from None
+    return cls(env, device, **kw)
+
+
+__all__ = [
+    "KernelFilesystem",
+    "Inode",
+    "OpenFile",
+    "BLOCK_SIZE",
+    "Ext4Sim",
+    "XfsSim",
+    "F2fsSim",
+    "FILESYSTEMS",
+    "make_filesystem",
+]

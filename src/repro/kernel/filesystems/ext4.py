@@ -1,0 +1,22 @@
+"""ext4 model: JBD2 journal serializes metadata transactions."""
+
+from __future__ import annotations
+
+from .base import KernelFilesystem
+
+__all__ = ["Ext4Sim"]
+
+
+class Ext4Sim(KernelFilesystem):
+    """ext4: a single running journal transaction gates all metadata.
+
+    JBD2 batches handles into one running transaction protected by
+    j_state_lock; concurrent creators serialize on it, which is the
+    scaling wall FxMark's MWCL/create tests expose (paper Fig 7).
+    """
+
+    name = "ext4"
+    meta_lock_shards = 1
+    create_hold_ns = 60_000
+    write_meta_ns = 1_500
+    journal_flush = True

@@ -1,0 +1,21 @@
+"""F2FS model: log-structured flash FS with a global sbi lock."""
+
+from __future__ import annotations
+
+from .base import KernelFilesystem
+
+__all__ = ["F2fsSim"]
+
+
+class F2fsSim(KernelFilesystem):
+    """F2FS: cheap appends but a global f2fs_lock_op() for checkpoints.
+
+    Metadata mutations funnel through the per-sb cp_rwsem, so creates
+    serialize like ext4 but with a longer hold (node page + NAT updates).
+    """
+
+    name = "f2fs"
+    meta_lock_shards = 1
+    create_hold_ns = 75_000
+    write_meta_ns = 1_200   # log-structured data path is cheap
+    journal_flush = False   # checkpoints are periodic, not per-fsync

@@ -1,0 +1,23 @@
+"""XFS model: allocation groups shard metadata locking."""
+
+from __future__ import annotations
+
+from .base import KernelFilesystem
+
+__all__ = ["XfsSim"]
+
+
+class XfsSim(KernelFilesystem):
+    """XFS: per-AG locking allows limited metadata concurrency.
+
+    Inode allocation spreads over allocation groups (2 shards here —
+    the effective concurrency FxMark observes is far below the AG count
+    because of the shared CIL/log), with a slightly larger per-op hold
+    than ext4.
+    """
+
+    name = "xfs"
+    meta_lock_shards = 2
+    create_hold_ns = 70_000
+    write_meta_ns = 1_800
+    journal_flush = True

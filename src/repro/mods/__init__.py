@@ -1,0 +1,71 @@
+"""The LabMod library shipped with the platform.
+
+``STANDARD_REPO`` is the plug-in repo mounted by default deployments:
+every LabMod class here, keyed by its class name (the ``mod`` field of a
+LabStack spec node).
+"""
+
+from .cache_lru import LruCacheMod
+from .compression import CompressionMod
+from .consistency import ConsistencyMod
+from .drivers import DaxDriverMod, DriverMod, KernelDriverMod, SpdkDriverMod
+from .dummy import DummyMod, DummyModV2
+from .generic_fs import GenericFS
+from .generic_kvs import GenericKVS
+from .iostats import IoStatsMod
+from .labfs import LabFs, MetadataLog, PerWorkerBlockAllocator
+from .labfs.alloc import CentralizedBlockAllocator
+from .labkvs import LabKvs
+from .permissions import PermissionsMod
+from .prefetch import PrefetchMod
+from .sched_blkswitch import BlkSwitchSchedMod
+from .sched_noop import NoOpSchedMod
+from .zns_driver import ZnsDriverMod
+
+STANDARD_REPO = {
+    cls.__name__: cls
+    for cls in (
+        LabFs,
+        LabKvs,
+        LruCacheMod,
+        PermissionsMod,
+        CompressionMod,
+        ConsistencyMod,
+        IoStatsMod,
+        PrefetchMod,
+        NoOpSchedMod,
+        BlkSwitchSchedMod,
+        KernelDriverMod,
+        SpdkDriverMod,
+        DaxDriverMod,
+        ZnsDriverMod,
+        DummyMod,
+        DummyModV2,
+    )
+}
+
+__all__ = [
+    "LabFs",
+    "LabKvs",
+    "LruCacheMod",
+    "PermissionsMod",
+    "CompressionMod",
+    "ConsistencyMod",
+    "IoStatsMod",
+    "PrefetchMod",
+    "CentralizedBlockAllocator",
+    "NoOpSchedMod",
+    "BlkSwitchSchedMod",
+    "DriverMod",
+    "KernelDriverMod",
+    "SpdkDriverMod",
+    "DaxDriverMod",
+    "ZnsDriverMod",
+    "DummyMod",
+    "DummyModV2",
+    "GenericFS",
+    "GenericKVS",
+    "PerWorkerBlockAllocator",
+    "MetadataLog",
+    "STANDARD_REPO",
+]

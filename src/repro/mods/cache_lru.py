@@ -1,0 +1,194 @@
+"""LRU page-cache LabMod (userspace).
+
+Two write policies (``write_policy`` attr):
+
+- ``"through"`` (default): writes copy into the cache (the Fig 4 "page
+  cache" slice — copy + bookkeeping) and continue downstream
+  synchronously — durable, what LabFS's crash-consistency story assumes.
+- ``"back"``: writes are absorbed into dirty cache pages and acknowledged
+  immediately; dirty pages drain downstream on eviction and on
+  ``blk.flush`` — the kernel-page-cache behaviour, trading durability
+  for write latency (the active-storage "asynchronously and in batches"
+  pattern of Section III-B).
+
+Reads are served from the cache on a hit, forwarded and inserted on a
+miss.  State — the whole cache — survives live upgrades via StateUpdate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.labmod import ExecContext, LabMod, ModContext
+from ..core.requests import LabRequest
+from ..errors import LabStorError
+
+__all__ = ["LruCacheMod"]
+
+PAGE = 4096
+
+
+class LruCacheMod(LabMod):
+    mod_type = "cache"
+    accepts = ("blk.",)
+    emits = ("blk.",)
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        self.capacity_pages = int(ctx.attrs.get("capacity_pages", 16_384))
+        self.write_policy = ctx.attrs.get("write_policy", "through")
+        if self.write_policy not in ("through", "back"):
+            raise LabStorError(f"{uuid}: write_policy must be 'through' or 'back'")
+        self.pages: OrderedDict[int, bytes] = OrderedDict()
+        self.dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # -- cache mechanics ----------------------------------------------------
+    def _insert(self, page_no: int, data: bytes, dirty: bool = False):
+        """Generator: insert a page, draining dirty evictions downstream."""
+        self.pages[page_no] = data
+        self.pages.move_to_end(page_no)
+        if dirty:
+            self.dirty.add(page_no)
+        while len(self.pages) > self.capacity_pages:
+            victim, vdata = self.pages.popitem(last=False)
+            if victim in self.dirty:
+                self.dirty.discard(victim)
+                yield victim, vdata
+
+    @staticmethod
+    def _coalesce(evicted: list[tuple[int, bytes]]) -> list[tuple[int, bytes]]:
+        """Group (page_no, data) pairs into contiguous (offset, data) extents."""
+        items = sorted(evicted)
+        out = []
+        i = 0
+        while i < len(items):
+            j = i
+            while j + 1 < len(items) and items[j + 1][0] == items[j][0] + 1:
+                j += 1
+            out.append((items[i][0] * PAGE, b"".join(d for _, d in items[i : j + 1])))
+            i = j + 1
+        return out
+
+    def _writeback(self, req: LabRequest, x: ExecContext, evicted: list[tuple[int, bytes]]):
+        """Generator: push evicted dirty pages downstream as extents."""
+        for offset, data in self._coalesce(evicted):
+            self.writebacks += 1
+            sub = LabRequest(
+                op="blk.write",
+                payload={"offset": offset, "size": len(data), "data": data,
+                         "origin_core": req.payload.get("origin_core", 0)},
+                stack_id=req.stack_id,
+                client_pid=req.client_pid,
+            )
+            yield from self.forward(sub, x)
+
+    def _lookup(self, first_page: int, npages: int) -> bytes | None:
+        chunks = []
+        for p in range(first_page, first_page + npages):
+            data = self.pages.get(p)
+            if data is None:
+                return None
+            chunks.append(data)
+        for p in range(first_page, first_page + npages):
+            self.pages.move_to_end(p)
+        return b"".join(chunks)
+
+    # -- operation -----------------------------------------------------------
+    def handle(self, req, x: ExecContext):
+        cost = self.ctx.cost
+        p = req.payload
+        offset = p.get("offset", 0)
+        size = p.get("size", len(p.get("data", b"")))
+        self.processed += 1
+
+        if req.op == "blk.write":
+            yield from x.work(cost.cache_mgmt_ns + cost.copy_ns(size), span="cache")
+            data = p["data"]
+            aligned = offset % PAGE == 0 and len(data) % PAGE == 0
+            if not aligned:
+                # safety: drop any cached pages the unaligned write touches
+                first = offset // PAGE
+                for pno in range(first, (offset + len(data) + PAGE - 1) // PAGE):
+                    self.pages.pop(pno, None)
+                    self.dirty.discard(pno)
+                return (yield from self.forward(req, x))
+            evicted: list[tuple[int, bytes]] = []
+            absorb = self.write_policy == "back"
+            for i in range(0, len(data), PAGE):
+                evicted += list(
+                    self._insert((offset + i) // PAGE, bytes(data[i : i + PAGE]), dirty=absorb)
+                )
+            if evicted:
+                yield from self._writeback(req, x, evicted)
+            if absorb:
+                return len(data)  # acknowledged from the cache
+            return (yield from self.forward(req, x))
+
+        if req.op == "blk.flush" and self.dirty:
+            # durability point: drain every dirty page before the flush
+            pending = [(pno, self.pages[pno]) for pno in sorted(self.dirty)
+                       if pno in self.pages]
+            self.dirty.clear()
+            yield from self._writeback(req, x, pending)
+            return (yield from self.forward(req, x))
+
+        if req.op == "blk.read":
+            yield from x.work(cost.cache_mgmt_ns, span="cache")
+            if offset % PAGE == 0 and size % PAGE == 0:
+                cached = self._lookup(offset // PAGE, size // PAGE)
+                if cached is not None:
+                    self.hits += 1
+                    yield from x.work(cost.copy_ns(size), span="cache")
+                    return cached
+            self.misses += 1
+            result = yield from self.forward(req, x)
+            if result is not None and offset % PAGE == 0:
+                buf = bytearray(result)
+                evicted: list[tuple[int, bytes]] = []
+                for i in range(0, len(buf), PAGE):
+                    pno = (offset + i) // PAGE
+                    if len(buf) - i < PAGE:
+                        break
+                    cached = self.pages.get(pno)
+                    if pno in self.dirty and cached is not None:
+                        # dirty page not yet written back: cache wins
+                        buf[i : i + PAGE] = cached
+                    else:
+                        evicted += list(self._insert(pno, bytes(buf[i : i + PAGE])))
+                if evicted:
+                    yield from self._writeback(req, x, evicted)
+                result = bytes(buf)
+            yield from x.work(cost.copy_ns(size), span="cache")
+            return result
+
+        if req.op == "blk.trim":
+            first = offset // PAGE
+            for pno in range(first, first + (size + PAGE - 1) // PAGE):
+                self.pages.pop(pno, None)
+                self.dirty.discard(pno)
+        return (yield from self.forward(req, x))
+
+    def est_processing_time(self, req) -> int:
+        size = req.payload.get("size", len(req.payload.get("data", b"")))
+        return self.ctx.cost.cache_mgmt_ns + self.ctx.cost.copy_ns(size)
+
+    # -- upgrade / repair -----------------------------------------------------
+    def state_update(self, old: "LabMod") -> None:
+        super().state_update(old)
+        if isinstance(old, LruCacheMod):
+            self.pages = old.pages
+            self.dirty = old.dirty
+            self.write_policy = old.write_policy
+            self.hits = old.hits
+            self.misses = old.misses
+            self.writebacks = old.writebacks
+
+    def state_repair(self) -> None:
+        # a crashed Runtime may hold stale cached pages: drop them.  In
+        # write-back mode this loses un-flushed dirty pages — exactly the
+        # durability trade the policy advertises.
+        self.pages.clear()
+        self.dirty.clear()

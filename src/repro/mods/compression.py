@@ -1,0 +1,75 @@
+"""Compression LabMod: transparent active-storage compression.
+
+Payloads small enough to compress for real go through :mod:`zlib`
+(so tests can verify round-trips); large payloads use the calibrated
+throughput model (the paper's C-LabStack compresses a 32MB request in
+~20ms, i.e. ~0.6 ns/byte) and a synthetic ratio.  Reads decompress.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..core.labmod import ExecContext, LabMod, ModContext
+
+__all__ = ["CompressionMod"]
+
+_REAL_LIMIT = 256 * 1024  # compress for real below this size
+
+_MAGIC = b"LZRP"  # marks really-compressed payloads
+
+
+class CompressionMod(LabMod):
+    mod_type = "compression"
+    accepts = ("blk.",)
+    emits = ("blk.",)
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        self.level = int(ctx.attrs.get("level", 6))
+        #: assumed compressibility for the synthetic (large-payload) path
+        self.synthetic_ratio = float(ctx.attrs.get("ratio", 0.5))
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def _cost(self, size: int) -> int:
+        return max(1000, round(self.ctx.cost.compress_ns_per_byte * size))
+
+    def handle(self, req, x: ExecContext):
+        p = req.payload
+        self.processed += 1
+        if req.op == "blk.write":
+            data = p["data"]
+            yield from x.work(self._cost(len(data)), span="compression")
+            self.bytes_in += len(data)
+            if len(data) <= _REAL_LIMIT:
+                comp = _MAGIC + zlib.compress(data, self.level)
+                if len(comp) >= len(data):
+                    comp = data  # incompressible: store raw
+            else:
+                comp = data[: max(1, int(len(data) * self.synthetic_ratio))]
+            self.bytes_out += len(comp)
+            p["data"] = comp
+            p["size"] = len(comp)
+            p["orig_size"] = len(data)
+            return (yield from self.forward(req, x))
+
+        if req.op == "blk.read":
+            result = yield from self.forward(req, x)
+            if result is not None:
+                yield from x.work(self._cost(len(result)) // 3, span="compression")
+                if result[:4] == _MAGIC:
+                    result = zlib.decompress(bytes(result[4:]))
+            return result
+
+        return (yield from self.forward(req, x))
+
+    def est_processing_time(self, req) -> int:
+        size = req.payload.get("size", len(req.payload.get("data", b"")))
+        return self._cost(size)
+
+    def state_update(self, old: "LabMod") -> None:
+        super().state_update(old)
+        if isinstance(old, CompressionMod):
+            self.bytes_in = old.bytes_in
+            self.bytes_out = old.bytes_out

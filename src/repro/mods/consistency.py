@@ -1,0 +1,78 @@
+"""Tunable consistency LabMod (the paper's "configurable consistency").
+
+Section III-B: LabStacks can impose semantics dynamically; one of the
+shipped LabMods provides "tunable consistency guarantees".  This module
+implements three policies over the block stream:
+
+- ``strict``   — every write is made durable immediately: a ``blk.flush``
+  is issued downstream after each ``blk.write`` (write-through +
+  device-flush; what a database WAL would want).
+- ``standard`` — pass-through: writes go downstream unmodified; only
+  explicit ``blk.flush`` requests (fs.fsync) flush (the default POSIX
+  contract).
+- ``relaxed``  — flushes are absorbed: ``blk.flush`` is acknowledged
+  without touching the device (the "not always required" guarantees the
+  paper argues end-users should be able to trade away).
+
+Because it is just a LabMod, the guarantee can be hot-swapped at runtime
+(dynamic semantics imposition) — see ``state_update``.
+"""
+
+from __future__ import annotations
+
+from ..core.labmod import ExecContext, LabMod, ModContext
+from ..core.requests import LabRequest
+from ..errors import LabStorError
+
+__all__ = ["ConsistencyMod", "POLICIES"]
+
+POLICIES = ("strict", "standard", "relaxed")
+
+
+class ConsistencyMod(LabMod):
+    mod_type = "consistency"
+    accepts = ("blk.",)
+    emits = ("blk.",)
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        self.policy = ctx.attrs.get("policy", "standard")
+        if self.policy not in POLICIES:
+            raise LabStorError(f"{uuid}: policy must be one of {POLICIES}")
+        self.flushes_issued = 0
+        self.flushes_absorbed = 0
+
+    def set_policy(self, policy: str) -> None:
+        """Retune the guarantee live (dynamic semantics imposition)."""
+        if policy not in POLICIES:
+            raise LabStorError(f"policy must be one of {POLICIES}")
+        self.policy = policy
+
+    def handle(self, req: LabRequest, x: ExecContext):
+        yield from x.work(120, span="consistency")  # policy check
+        self.processed += 1
+        if req.op == "blk.flush" and self.policy == "relaxed":
+            self.flushes_absorbed += 1
+            return None
+        result = yield from self.forward(req, x)
+        if req.op == "blk.write" and self.policy == "strict":
+            flush = LabRequest(
+                op="blk.flush",
+                payload={"offset": 0, "size": 0,
+                         "origin_core": req.payload.get("origin_core", 0)},
+                stack_id=req.stack_id,
+                client_pid=req.client_pid,
+            )
+            self.flushes_issued += 1
+            yield from self.forward(flush, x)
+        return result
+
+    def est_processing_time(self, req: LabRequest) -> int:
+        return 120
+
+    def state_update(self, old: "LabMod") -> None:
+        super().state_update(old)
+        if isinstance(old, ConsistencyMod):
+            self.policy = old.policy
+            self.flushes_issued = old.flushes_issued
+            self.flushes_absorbed = old.flushes_absorbed

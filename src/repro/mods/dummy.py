@@ -1,0 +1,50 @@
+"""Dummy LabMods for the live-upgrade evaluation (paper Table I).
+
+``DummyMod`` echoes messages after a configurable processing delay and
+keeps a message counter as its state; ``DummyModV2`` is "the upgrade" —
+same behaviour, one version higher, plus a marker proving StateUpdate ran.
+"""
+
+from __future__ import annotations
+
+from ..core.labmod import ExecContext, LabMod, ModContext
+
+__all__ = ["DummyMod", "DummyModV2"]
+
+
+class DummyMod(LabMod):
+    mod_type = "dummy"
+    accepts = ("msg.",)
+    emits = ()
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        self.delay_ns = int(ctx.attrs.get("delay_ns", 500))
+        self.messages = 0
+        # "a few bytes of pointers" — the state the upgrade must transfer
+        self.state_blob = {"cursor": 0}
+
+    def handle(self, req, x: ExecContext):
+        yield from x.work(self.delay_ns, span="dummy")
+        self.messages += 1
+        self.state_blob["cursor"] = self.messages
+        self.processed += 1
+        return {"echo": req.payload.get("value"), "version": self.version}
+
+    def est_processing_time(self, req) -> int:
+        return self.delay_ns
+
+    def state_update(self, old: "LabMod") -> None:
+        super().state_update(old)
+        if isinstance(old, DummyMod):
+            self.messages = old.messages
+            self.state_blob = dict(old.state_blob)
+            self.delay_ns = old.delay_ns
+
+
+class DummyModV2(DummyMod):
+    """The 'new code' an upgrade request installs."""
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        self.upgraded = True

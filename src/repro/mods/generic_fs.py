@@ -1,0 +1,177 @@
+"""GenericFS: the client-side POSIX connector (a Generic LabMod).
+
+Loaded into clients via LD_PRELOAD in the paper, GenericFS intercepts
+POSIX calls, allocates file descriptors, resolves paths through the
+LabStack Namespace (exact match, then parent prefixes, as in Fig 3), and
+routes requests to the filesystem implementation of the owning stack —
+the VFS-like state that is *common among I/O systems of a type*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.client import LabStorClient
+from ..core.requests import LabRequest
+from ..errors import LabStorError
+
+__all__ = ["GenericFS"]
+
+
+@dataclass
+class _FdEntry:
+    stack_id: int
+    ino: int
+    pos: int
+    path: str
+
+
+class GenericFS:
+    """POSIX facade over mounted filesystem LabStacks."""
+
+    def __init__(self, client: LabStorClient) -> None:
+        self.client = client
+        self.env = client.env
+        self.cost = client.runtime.cost
+        self._fds: dict[int, _FdEntry] = {}
+        self.intercepted = 0
+
+    # -- plumbing ---------------------------------------------------------
+    def _intercept(self):
+        self.intercepted += 1
+        yield self.env.timeout(self.cost.generic_fs_ns)
+
+    def _entry(self, fd: int) -> _FdEntry:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise LabStorError(f"GenericFS: unknown fd {fd}") from None
+
+    def _stack_for(self, fd: int):
+        return self.client.runtime.namespace.get_by_id(self._entry(fd).stack_id)
+
+    # -- the POSIX surface (process generators) ------------------------------
+    def open(self, path: str, create: bool = False):
+        """Resolve, route fs.open, allocate a client-side fd."""
+        yield from self._intercept()
+        stack, remainder = self.client.runtime.namespace.resolve(path)
+        ino = yield from self.client.call(
+            stack, LabRequest(op="fs.open", payload={"path": remainder, "create": create})
+        )
+        fd = self.client.alloc_fd(stack.stack_id)
+        self._fds[fd] = _FdEntry(stack_id=stack.stack_id, ino=ino, pos=0, path=remainder)
+        return fd
+
+    def creat(self, path: str):
+        return (yield from self.open(path, create=True))
+
+    def close(self, fd: int):
+        yield from self._intercept()
+        entry = self._fds.pop(fd, None)
+        if entry is None:
+            raise LabStorError(f"GenericFS: unknown fd {fd}")
+        self.client.release_fd(fd)
+        stack = self.client.runtime.namespace.get_by_id(entry.stack_id)
+        yield from self.client.call(
+            stack, LabRequest(op="fs.close", payload={"ino": entry.ino})
+        )
+
+    def write(self, fd: int, data: bytes, offset: int | None = None):
+        yield from self._intercept()
+        entry = self._entry(fd)
+        pos = entry.pos if offset is None else offset
+        stack = self._stack_for(fd)
+        n = yield from self.client.call(
+            stack,
+            LabRequest(op="fs.write", payload={"ino": entry.ino, "offset": pos, "data": data}),
+        )
+        if offset is None:
+            entry.pos = pos + n
+        return n
+
+    def read(self, fd: int, size: int, offset: int | None = None):
+        yield from self._intercept()
+        entry = self._entry(fd)
+        pos = entry.pos if offset is None else offset
+        stack = self._stack_for(fd)
+        data = yield from self.client.call(
+            stack,
+            LabRequest(op="fs.read", payload={"ino": entry.ino, "offset": pos, "size": size}),
+        )
+        if offset is None:
+            entry.pos = pos + len(data)
+        return data
+
+    def seek(self, fd: int, pos: int):
+        yield from self._intercept()
+        self._entry(fd).pos = pos
+
+    def fsync(self, fd: int):
+        yield from self._intercept()
+        entry = self._entry(fd)
+        yield from self.client.call(
+            self._stack_for(fd), LabRequest(op="fs.fsync", payload={"ino": entry.ino})
+        )
+
+    def unlink(self, path: str):
+        yield from self._intercept()
+        stack, remainder = self.client.runtime.namespace.resolve(path)
+        yield from self.client.call(
+            stack, LabRequest(op="fs.unlink", payload={"path": remainder})
+        )
+
+    def rename(self, path: str, new_path: str):
+        yield from self._intercept()
+        stack, remainder = self.client.runtime.namespace.resolve(path)
+        _stack2, new_remainder = self.client.runtime.namespace.resolve(new_path)
+        yield from self.client.call(
+            stack,
+            LabRequest(op="fs.rename", payload={"path": remainder, "new_path": new_remainder}),
+        )
+
+    def stat(self, path: str):
+        yield from self._intercept()
+        stack, remainder = self.client.runtime.namespace.resolve(path)
+        return (
+            yield from self.client.call(
+                stack, LabRequest(op="fs.stat", payload={"path": remainder})
+            )
+        )
+
+    def mkdir(self, path: str):
+        yield from self._intercept()
+        stack, remainder = self.client.runtime.namespace.resolve(path)
+        return (
+            yield from self.client.call(
+                stack, LabRequest(op="fs.mkdir", payload={"path": remainder})
+            )
+        )
+
+    def readdir(self, path: str):
+        yield from self._intercept()
+        stack, remainder = self.client.runtime.namespace.resolve(path)
+        return (
+            yield from self.client.call(
+                stack, LabRequest(op="fs.readdir", payload={"path": remainder})
+            )
+        )
+
+    def rmdir(self, path: str):
+        yield from self._intercept()
+        stack, remainder = self.client.runtime.namespace.resolve(path)
+        yield from self.client.call(
+            stack, LabRequest(op="fs.rmdir", payload={"path": remainder})
+        )
+
+    # convenience ----------------------------------------------------------
+    def write_file(self, path: str, data: bytes):
+        fd = yield from self.open(path, create=True)
+        yield from self.write(fd, data, offset=0)
+        yield from self.close(fd)
+
+    def read_file(self, path: str):
+        fd = yield from self.open(path)
+        st = yield from self.stat(path)
+        data = yield from self.read(fd, st["size"], offset=0)
+        yield from self.close(fd)
+        return data

@@ -1,0 +1,63 @@
+"""GenericKVS: the client-side key-value connector (a Generic LabMod).
+
+Routes put/get/remove to the KVS LabStack owning the key's namespace —
+the non-file interface the paper uses to untether I/O systems from the
+POSIX abstraction (one syscall-equivalent per op instead of
+open-modify-close).
+"""
+
+from __future__ import annotations
+
+from ..core.client import LabStorClient
+from ..core.requests import LabRequest
+
+__all__ = ["GenericKVS"]
+
+
+class GenericKVS:
+    def __init__(self, client: LabStorClient, mount: str) -> None:
+        self.client = client
+        self.env = client.env
+        self.cost = client.runtime.cost
+        self.mount = mount
+        self.intercepted = 0
+
+    def _stack(self):
+        stack, _ = self.client.runtime.namespace.resolve(self.mount)
+        return stack
+
+    def _intercept(self):
+        self.intercepted += 1
+        yield self.env.timeout(self.cost.generic_fs_ns)
+
+    def put(self, key: str, value: bytes):
+        yield from self._intercept()
+        return (
+            yield from self.client.call(
+                self._stack(), LabRequest(op="kvs.put", payload={"key": key, "value": value})
+            )
+        )
+
+    def get(self, key: str):
+        yield from self._intercept()
+        return (
+            yield from self.client.call(
+                self._stack(), LabRequest(op="kvs.get", payload={"key": key})
+            )
+        )
+
+    def remove(self, key: str):
+        yield from self._intercept()
+        return (
+            yield from self.client.call(
+                self._stack(), LabRequest(op="kvs.remove", payload={"key": key})
+            )
+        )
+
+    def exists(self, key: str):
+        yield from self._intercept()
+        return (
+            yield from self.client.call(
+                self._stack(), LabRequest(op="kvs.exists", payload={"key": key})
+            )
+        )

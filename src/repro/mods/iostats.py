@@ -1,0 +1,72 @@
+"""IoStatsMod: in-stack performance counters.
+
+Section III-C: "Workers also periodically monitor LabMods to get
+performance metrics, useful to work orchestration policies."  This LabMod
+is the measurement point: it records per-op-type latency and throughput
+of everything downstream of it, and exposes a *learned*
+``EstProcessingTime`` (EWMA of observed downstream latency per op kind)
+that the Work Orchestrator's queue classifier can consume instead of
+static estimates.
+"""
+
+from __future__ import annotations
+
+from ..core.labmod import ExecContext, LabMod, ModContext
+from ..core.requests import LabRequest
+from ..sim import LatencyRecorder
+
+__all__ = ["IoStatsMod"]
+
+
+class IoStatsMod(LabMod):
+    mod_type = "telemetry"
+    accepts = ("*",)
+    emits = ("fs.", "kvs.", "blk.", "msg.")
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        self.per_op: dict[str, LatencyRecorder] = {}
+        self.bytes_moved = 0
+        self._ewma: dict[str, float] = {}
+        self.alpha = float(ctx.attrs.get("alpha", 0.2))
+
+    def handle(self, req: LabRequest, x: ExecContext):
+        yield from x.work(90, span="telemetry")  # counter update
+        start = self.ctx.env.now
+        self.processed += 1
+        result = yield from self.forward(req, x)
+        elapsed = self.ctx.env.now - start
+        rec = self.per_op.get(req.op)
+        if rec is None:
+            rec = self.per_op[req.op] = LatencyRecorder(reservoir=4096)
+        rec.add(elapsed)
+        prev = self._ewma.get(req.op, float(elapsed))
+        self._ewma[req.op] = (1 - self.alpha) * prev + self.alpha * elapsed
+        size = req.payload.get("size", len(req.payload.get("data", b"")))
+        self.bytes_moved += size
+        return result
+
+    # -- the performance-counter APIs ------------------------------------
+    def est_processing_time(self, req: LabRequest) -> int:
+        """Learned estimate: EWMA of observed downstream latency."""
+        est = self._ewma.get(req.op)
+        if est is None:
+            return 1000
+        return int(est)
+
+    def est_total_time(self, req: LabRequest) -> int:
+        return self.est_processing_time(req)
+
+    def report(self) -> dict[str, dict]:
+        """Snapshot for monitoring/orchestration."""
+        return {
+            op: {**rec.summary(), "ewma_ns": self._ewma.get(op, 0.0)}
+            for op, rec in self.per_op.items()
+        }
+
+    def state_update(self, old: "LabMod") -> None:
+        super().state_update(old)
+        if isinstance(old, IoStatsMod):
+            self.per_op = old.per_op
+            self._ewma = old._ewma
+            self.bytes_moved = old.bytes_moved

@@ -1,0 +1,243 @@
+"""LabFS's scalable per-worker block allocator (+ the lock baseline).
+
+Device blocks are divided evenly among the worker pool so allocation is
+contention-free; a worker that runs out steals from the richest peer.
+When workers are decommissioned their blocks are re-assigned; new workers
+steal a configurable number of blocks from the others (Section III-E).
+
+:class:`CentralizedBlockAllocator` is the design LabFS *avoids*: one
+free list behind one lock, the way kernel filesystems guard their block
+bitmaps — kept here as the ablation baseline
+(``benchmarks/test_bench_ablation_allocator.py``).
+"""
+
+from __future__ import annotations
+
+from ...errors import OutOfSpaceError
+from ...sim import Environment, Resource
+
+__all__ = ["PerWorkerBlockAllocator", "CentralizedBlockAllocator"]
+
+
+class _Shard:
+    """One worker's pool: contiguous ranges + a free list of singles."""
+
+    __slots__ = ("ranges", "freed")
+
+    def __init__(self) -> None:
+        self.ranges: list[list[int]] = []  # [lo, hi) pairs, mutated in place
+        self.freed: list[int] = []
+
+    def count(self) -> int:
+        return sum(hi - lo for lo, hi in self.ranges) + len(self.freed)
+
+    def take_one(self) -> int | None:
+        if self.freed:
+            return self.freed.pop()
+        while self.ranges:
+            lo, hi = self.ranges[0]
+            if lo < hi:
+                self.ranges[0][0] = lo + 1
+                if lo + 1 == hi:
+                    self.ranges.pop(0)
+                return lo
+            self.ranges.pop(0)
+        return None
+
+    def take_bulk(self, n: int) -> tuple[list[list[int]], list[int]]:
+        """Remove ~n blocks, preferring whole ranges."""
+        got_ranges: list[list[int]] = []
+        got = 0
+        while self.ranges and got < n:
+            lo, hi = self.ranges[-1]
+            span = hi - lo
+            if span <= n - got:
+                got_ranges.append(self.ranges.pop())
+                got += span
+            else:
+                cut = hi - (n - got)
+                self.ranges[-1][1] = cut
+                got_ranges.append([cut, hi])
+                got = n
+        singles: list[int] = []
+        while self.freed and got < n:
+            singles.append(self.freed.pop())
+            got += 1
+        return got_ranges, singles
+
+
+class PerWorkerBlockAllocator:
+    def __init__(
+        self,
+        total_blocks: int,
+        nworkers: int,
+        *,
+        base_block: int = 0,
+        steal_blocks: int = 1024,
+    ) -> None:
+        if total_blocks <= 0 or nworkers <= 0:
+            raise OutOfSpaceError("allocator needs positive blocks and workers")
+        self.total_blocks = total_blocks
+        self.base_block = base_block
+        self.steal_blocks = steal_blocks
+        self._shards: dict[int, _Shard] = {}
+        self._allocated: set[int] = set()
+        self.steals = 0
+        per = total_blocks // nworkers
+        cursor = base_block
+        for w in range(nworkers):
+            shard = _Shard()
+            hi = cursor + per if w < nworkers - 1 else base_block + total_blocks
+            shard.ranges.append([cursor, hi])
+            cursor = hi
+            self._shards[w] = shard
+
+    # ------------------------------------------------------------------
+    @property
+    def nworkers(self) -> int:
+        return len(self._shards)
+
+    def _shard_for(self, worker_id: int) -> _Shard:
+        if worker_id in self._shards:
+            return self._shards[worker_id]
+        # unknown worker key (e.g. client-side sync execution): hash onto a shard
+        keys = sorted(self._shards)
+        return self._shards[keys[worker_id % len(keys)]]
+
+    def alloc(self, worker_id: int | None = 0) -> int:
+        """Allocate one block, stealing from peers if this shard is dry."""
+        shard = self._shard_for(worker_id or 0)
+        block = shard.take_one()
+        if block is None:
+            self._steal_into(shard)
+            block = shard.take_one()
+            if block is None:
+                raise OutOfSpaceError("LabFS: no free blocks anywhere")
+        self._allocated.add(block)
+        return block
+
+    def free(self, block: int, worker_id: int | None = 0) -> None:
+        if block not in self._allocated:
+            raise OutOfSpaceError(f"double free of block {block}")
+        self._allocated.discard(block)
+        self._shard_for(worker_id or 0).freed.append(block)
+
+    def _steal_into(self, shard: _Shard) -> None:
+        victims = [s for s in self._shards.values() if s is not shard and s.count() > 0]
+        if not victims:
+            return
+        victim = max(victims, key=lambda s: s.count())
+        want = min(self.steal_blocks, max(1, victim.count() // 2))
+        ranges, singles = victim.take_bulk(want)
+        shard.ranges.extend(ranges)
+        shard.freed.extend(singles)
+        self.steals += 1
+
+    # -- worker pool resizing -------------------------------------------------
+    def add_worker(self, worker_id: int) -> None:
+        """A new worker steals `steal_blocks` from each existing shard."""
+        if worker_id in self._shards:
+            return
+        shard = _Shard()
+        for other in list(self._shards.values()):
+            ranges, singles = other.take_bulk(self.steal_blocks)
+            shard.ranges.extend(ranges)
+            shard.freed.extend(singles)
+        self._shards[worker_id] = shard
+
+    def remove_worker(self, worker_id: int) -> None:
+        """Decommissioned worker's free blocks go to the running workers."""
+        shard = self._shards.pop(worker_id, None)
+        if shard is None or not self._shards:
+            if shard is not None:
+                # last worker removed: keep the blocks under a fresh shard 0
+                self._shards[0] = shard
+            return
+        heirs = sorted(self._shards)
+        for i, rng in enumerate(shard.ranges):
+            self._shards[heirs[i % len(heirs)]].ranges.append(rng)
+        for i, blk in enumerate(shard.freed):
+            self._shards[heirs[i % len(heirs)]].freed.append(blk)
+
+    # -- introspection ----------------------------------------------------
+    def free_count(self, worker_id: int | None = None) -> int:
+        if worker_id is not None:
+            return self._shard_for(worker_id).count()
+        return sum(s.count() for s in self._shards.values())
+
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    # -- uniform (generator) allocation API --------------------------------
+    def alloc_block(self, worker_id: int | None, x):
+        """Generator form of :meth:`alloc` — contention-free, zero waits."""
+        return self.alloc(worker_id)
+        yield  # pragma: no cover - makes this a generator
+
+
+class CentralizedBlockAllocator:
+    """One free list, one lock: the baseline LabFS's design replaces.
+
+    Every allocation serializes on the lock for ``lock_hold_ns`` —
+    under concurrent metadata load this is the bitmap-lock bottleneck
+    kernel filesystems exhibit in Fig 7.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        total_blocks: int,
+        *,
+        base_block: int = 0,
+        lock_hold_ns: int = 900,
+    ) -> None:
+        if total_blocks <= 0:
+            raise OutOfSpaceError("allocator needs positive blocks")
+        self.env = env
+        self.lock = Resource(env, capacity=1)
+        self.lock_hold_ns = lock_hold_ns
+        self._next = base_block
+        self._end = base_block + total_blocks
+        self._freed: list[int] = []
+        self._allocated: set[int] = set()
+        self.steals = 0  # interface parity; a central pool never steals
+
+    def _take(self) -> int:
+        if self._freed:
+            block = self._freed.pop()
+        elif self._next < self._end:
+            block = self._next
+            self._next += 1
+        else:
+            raise OutOfSpaceError("centralized allocator: no free blocks")
+        self._allocated.add(block)
+        return block
+
+    def alloc_block(self, worker_id: int | None, x):
+        """Generator: serialize on the global lock, then allocate."""
+        with self.lock.request() as grant:
+            yield grant
+            yield self.env.timeout(self.lock_hold_ns)
+            return self._take()
+
+    def alloc(self, worker_id: int | None = 0) -> int:
+        """Non-blocking variant for tests (skips the lock wait)."""
+        return self._take()
+
+    def free(self, block: int, worker_id: int | None = 0) -> None:
+        if block not in self._allocated:
+            raise OutOfSpaceError(f"double free of block {block}")
+        self._allocated.discard(block)
+        self._freed.append(block)
+
+    def free_count(self, worker_id: int | None = None) -> int:
+        return (self._end - self._next) + len(self._freed)
+
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def add_worker(self, worker_id: int) -> None:  # interface parity
+        pass
+
+    def remove_worker(self, worker_id: int) -> None:
+        pass

@@ -1,0 +1,96 @@
+"""LabFS metadata log.
+
+LabFS does not keep inodes or bitmaps on disk.  Every metadata mutation
+(create, unlink, rename, size change, block mapping) appends a record to
+a per-worker log; the in-memory inode hashmap is a pure function of the
+merged logs, replayable after a crash (``StateRepair``) or at mount.
+Records carry a global sequence number so per-worker logs merge into a
+single total order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["LogRecord", "MetadataLog", "replay"]
+
+_seq = itertools.count(1)
+
+# record kinds
+CREATE = "create"
+MKDIR = "mkdir"
+UNLINK = "unlink"
+RENAME = "rename"
+SET_SIZE = "set_size"
+MAP_BLOCK = "map_block"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    seq: int
+    kind: str
+    ino: int
+    a: Any = None   # kind-specific: path / new path / size / page_no
+    b: Any = None   # kind-specific: block offset
+
+
+class MetadataLog:
+    """Per-worker append-only logs with a merged total-order view."""
+
+    def __init__(self) -> None:
+        self._logs: dict[int, list[LogRecord]] = {}
+
+    def append(self, worker_id: int | None, kind: str, ino: int, a: Any = None, b: Any = None) -> LogRecord:
+        rec = LogRecord(next(_seq), kind, ino, a, b)
+        self._logs.setdefault(worker_id or 0, []).append(rec)
+        return rec
+
+    def merged(self) -> Iterator[LogRecord]:
+        all_recs = [r for log in self._logs.values() for r in log]
+        all_recs.sort(key=lambda r: r.seq)
+        return iter(all_recs)
+
+    def record_count(self) -> int:
+        return sum(len(log) for log in self._logs.values())
+
+    def worker_ids(self) -> list[int]:
+        return sorted(self._logs)
+
+    def compact(self, live_inos: set[int]) -> int:
+        """Drop records for inodes that no longer exist; returns #dropped."""
+        dropped = 0
+        for wid, log in self._logs.items():
+            kept = [r for r in log if r.ino in live_inos or r.kind in (UNLINK,)]
+            # an UNLINK of a dead inode is only needed if earlier records survive
+            kept = [r for r in kept if not (r.kind == UNLINK and r.ino not in live_inos)]
+            dropped += len(log) - len(kept)
+            self._logs[wid] = kept
+        return dropped
+
+
+def replay(log: MetadataLog) -> dict[int, dict]:
+    """Rebuild the inode table from the merged log.
+
+    Returns ``{ino: {"path": str, "size": int, "blocks": {page: offset},
+    "dir": bool}}``.
+    """
+    inodes: dict[int, dict] = {}
+    for rec in log.merged():
+        if rec.kind == CREATE:
+            inodes[rec.ino] = {"path": rec.a, "size": 0, "blocks": {}, "dir": False}
+        elif rec.kind == MKDIR:
+            inodes[rec.ino] = {"path": rec.a, "size": 0, "blocks": {}, "dir": True}
+        elif rec.kind == UNLINK:
+            inodes.pop(rec.ino, None)
+        elif rec.kind == RENAME:
+            if rec.ino in inodes:
+                inodes[rec.ino]["path"] = rec.a
+        elif rec.kind == SET_SIZE:
+            if rec.ino in inodes:
+                inodes[rec.ino]["size"] = rec.a
+        elif rec.kind == MAP_BLOCK:
+            if rec.ino in inodes:
+                inodes[rec.ino]["blocks"][rec.a] = rec.b
+    return inodes

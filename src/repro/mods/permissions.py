@@ -1,0 +1,61 @@
+"""Permissions LabMod: tunable access control as a pluggable stack stage.
+
+Checks the request's uid against per-prefix ACLs.  Because it is just a
+LabMod, end-users who do not need access control simply omit it from
+their LabStack (the "Lab-Min" configurations), recovering the ~3%-per-op
+cost the paper measures — or mount several stacks over the same data
+with different Permission LabMods for tunable, per-view access control.
+"""
+
+from __future__ import annotations
+
+from ..core.labmod import ExecContext, LabMod, ModContext
+from ..errors import PermissionDenied
+
+__all__ = ["PermissionsMod"]
+
+
+class PermissionsMod(LabMod):
+    mod_type = "permissions"
+    accepts = ("*",)
+    emits = ("fs.", "kvs.", "blk.", "msg.")
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        #: path/key prefix -> set of uids allowed ("*" = everyone)
+        self.acls: dict[str, set] = {p: set(u) for p, u in ctx.attrs.get("acls", {}).items()}
+        self.default_allow = bool(ctx.attrs.get("default_allow", True))
+        self.denied = 0
+
+    def set_acl(self, prefix: str, uids) -> None:
+        self.acls[prefix] = set(uids)
+
+    def _allowed(self, subject: str, uid) -> bool:
+        best = None
+        for prefix in self.acls:
+            if subject.startswith(prefix) and (best is None or len(prefix) > len(best)):
+                best = prefix
+        if best is None:
+            return self.default_allow
+        allowed = self.acls[best]
+        return "*" in allowed or uid in allowed
+
+    def handle(self, req, x: ExecContext):
+        yield from x.work(self.ctx.cost.perm_check_ns, span="permissions")
+        subject = req.payload.get("path") or req.payload.get("key") or ""
+        uid = req.payload.get("uid", req.client_pid)
+        self.processed += 1
+        if not self._allowed(subject, uid):
+            self.denied += 1
+            raise PermissionDenied(f"uid {uid} denied on {subject!r}")
+        return (yield from self.forward(req, x))
+
+    def est_processing_time(self, req) -> int:
+        return self.ctx.cost.perm_check_ns
+
+    def state_update(self, old: "LabMod") -> None:
+        super().state_update(old)
+        if isinstance(old, PermissionsMod):
+            self.acls = dict(old.acls)
+            self.default_allow = old.default_allow
+            self.denied = old.denied

@@ -1,0 +1,98 @@
+"""Prefetcher LabMod: predictive read-ahead as a pluggable stack stage.
+
+The paper (Driver LabMods discussion): "time series analysis can be used
+to predict characteristics of future I/O requests to reduce seek
+penalties on HDDs or decide which pages to evict from the page cache."
+This LabMod is the simplest useful instance of that idea: it watches the
+``blk.read`` stream for sequential runs and, once a stream looks
+sequential, asynchronously reads ahead ``window`` bytes so the cache
+below it is warm before the application asks.
+
+Place it *above* a cache LabMod (``... -> PrefetchMod -> LruCacheMod ->
+driver``): the prefetch reads flow through the cache, which retains them.
+"""
+
+from __future__ import annotations
+
+from ..core.labmod import ExecContext, LabMod, ModContext
+from ..core.requests import LabRequest
+
+__all__ = ["PrefetchMod"]
+
+
+class PrefetchMod(LabMod):
+    mod_type = "prefetch"
+    accepts = ("blk.",)
+    emits = ("blk.",)
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        #: bytes to read ahead once a sequential stream is detected
+        self.window = int(ctx.attrs.get("window", 128 * 1024))
+        #: consecutive sequential reads before prefetching starts
+        self.trigger = int(ctx.attrs.get("trigger", 2))
+        self._next_expected: int | None = None
+        self._run_length = 0
+        self._inflight: set[int] = set()   # offsets being prefetched
+        self.prefetches = 0
+        self.prefetched_bytes = 0
+
+    def _observe(self, offset: int, size: int) -> bool:
+        """Update the stream detector; True if the stream is sequential."""
+        sequential = self._next_expected is not None and offset == self._next_expected
+        self._run_length = self._run_length + 1 if sequential else 0
+        self._next_expected = offset + size
+        return self._run_length >= self.trigger
+
+    def _prefetch_proc(self, req: LabRequest, offset: int, size: int):
+        """Background read-ahead: off the worker core, fire and forget."""
+        x = ExecContext(self.ctx.env, self.ctx.tracer, core_resource=None)
+        sub = LabRequest(
+            op="blk.read",
+            payload={"offset": offset, "size": size,
+                     "origin_core": req.payload.get("origin_core", 0)},
+            stack_id=req.stack_id,
+            client_pid=req.client_pid,
+        )
+        try:
+            yield from self.forward(sub, x)
+        finally:
+            self._inflight.discard(offset)
+
+    def handle(self, req: LabRequest, x: ExecContext):
+        yield from x.work(200, span="prefetch")  # stream-table update
+        self.processed += 1
+        if req.op != "blk.read":
+            return (yield from self.forward(req, x))
+        offset = req.payload.get("offset", 0)
+        size = req.payload.get("size", 0)
+        hot = self._observe(offset, size)
+        result = yield from self.forward(req, x)
+        if hot:
+            ahead = offset + size
+            if ahead not in self._inflight:
+                self._inflight.add(ahead)
+                self.prefetches += 1
+                self.prefetched_bytes += self.window
+                self.ctx.env.process(
+                    self._prefetch_proc(req, ahead, self.window),
+                    name=f"{self.uuid}.prefetch",
+                )
+        return result
+
+    def est_processing_time(self, req: LabRequest) -> int:
+        return 200
+
+    def state_update(self, old: "LabMod") -> None:
+        super().state_update(old)
+        if isinstance(old, PrefetchMod):
+            self.window = old.window
+            self.trigger = old.trigger
+            self.prefetches = old.prefetches
+            self.prefetched_bytes = old.prefetched_bytes
+
+    def state_repair(self) -> None:
+        # stream state is advisory; start cold after a crash
+        self._next_expected = None
+        self._run_length = 0
+        self._inflight.clear()

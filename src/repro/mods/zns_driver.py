@@ -1,0 +1,64 @@
+"""ZNS Driver LabMod: a zoned-namespace hardware API at the stack bottom.
+
+Beyond the block set, it accepts:
+
+- ``blk.append``  (payload: zone, data)   -> assigned device offset
+- ``blk.reset_zone`` (payload: zone)
+
+Plain ``blk.read`` works anywhere; plain ``blk.write`` is validated by
+the device's sequential-write rule — stacks built for ZNS should append.
+"""
+
+from __future__ import annotations
+
+from ..core.labmod import ExecContext, ModContext
+from ..devices.zns import ZnsNvme
+from ..errors import LabStorError
+from .drivers import DriverMod
+
+__all__ = ["ZnsDriverMod"]
+
+
+class ZnsDriverMod(DriverMod):
+    accepts = ("blk.",)
+    emits = ()
+    device_kinds = ("zns",)
+
+    def __init__(self, uuid: str, ctx: ModContext) -> None:
+        super().__init__(uuid, ctx)
+        if not isinstance(self.device, ZnsNvme):
+            raise LabStorError(f"{uuid}: ZnsDriverMod needs a ZnsNvme device")
+
+    def handle(self, req, x: ExecContext):
+        cost = self.ctx.cost
+        p = req.payload
+        self.ios += 1
+        self.processed += 1
+        if req.op == "blk.append":
+            yield from x.work(cost.spdk_submit_ns, span="driver")
+            offset = yield from x.wait(
+                self.ctx.env.process(
+                    self.device.zone_append(p["zone"], p["data"], hctx=p.get("hctx", 0))
+                ),
+                span="device_io",
+            )
+            yield from x.work(cost.spdk_poll_ns, span="driver")
+            return offset
+        if req.op == "blk.reset_zone":
+            yield from x.work(cost.spdk_submit_ns, span="driver")
+            yield from x.wait(
+                self.ctx.env.process(self.device.zone_reset(p["zone"])), span="device_io"
+            )
+            return None
+        # ordinary block path (reads anywhere; writes validated by the
+        # device's sequential-write rule)
+        from ..devices.base import BlockRequest
+
+        op, offset, size, data, hctx = self._decode(req)
+        yield from x.work(cost.driver_submit_ns, span="driver")
+        breq = BlockRequest(op=op, offset=offset, size=size, data=data,
+                            hctx=hctx % self.device.nqueues)
+        done = self.device.submit(breq)
+        yield from x.wait(done, span="device_io")
+        yield from x.work(cost.driver_poll_ns, span="driver")
+        return breq.result

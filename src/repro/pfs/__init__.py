@@ -1,0 +1,5 @@
+"""Distributed layer: a striped parallel filesystem model."""
+
+from .orangefs import OrangeFs, PfsResult
+
+__all__ = ["OrangeFs", "PfsResult"]

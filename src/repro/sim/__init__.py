@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate for the LabStor reproduction."""
+
+from .core import (
+    LOW,
+    NORMAL,
+    URGENT,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    StopSimulation,
+    Timeout,
+)
+from .resources import Container, FilterStore, PriorityResource, Resource, Store
+from .rng import RngRegistry
+from .stats import Counter, Histogram, LatencyRecorder, OnlineStats, percentile
+from .trace import SpanAccumulator, Tracer
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "FilterStore",
+    "Container",
+    "RngRegistry",
+    "OnlineStats",
+    "LatencyRecorder",
+    "Histogram",
+    "Counter",
+    "percentile",
+    "SpanAccumulator",
+    "Tracer",
+]

@@ -1,0 +1,411 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based DES engine in the SimPy style.
+Every LabStor component (workers, clients, devices, the kernel substrate)
+is a :class:`Process` driven by an :class:`Environment` whose clock is an
+integer nanosecond counter.
+
+Determinism: events scheduled for the same timestamp are executed in
+(priority, insertion-order) order, so a seeded run always produces the
+same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError
+
+# Event priorities. Lower value runs first at equal timestamps.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+]
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload (e.g. the reason a worker was
+    decommissioned by the Work Orchestrator).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Life-cycle: *pending* -> *triggered* (scheduled on the heap) ->
+    *processed* (callbacks ran).  An event succeeds with a value or fails
+    with an exception; waiting processes receive the value or have the
+    exception thrown into them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=0, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exc!r}")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self, delay=0, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = int(delay)
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=self.delay, priority=NORMAL)
+
+
+class Initialize(Event):
+    """Internal: kicks a freshly created process on the next step."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._triggered = True
+        self._ok = True
+        self._value = None
+        env._schedule(self, delay=0, priority=URGENT)
+
+
+class Process(Event):
+    """Wraps a generator; the process *is* an event that fires on return.
+
+    The generator yields :class:`Event` instances; each ``yield`` suspends
+    the process until the yielded event is processed.  ``return value``
+    inside the generator succeeds the process event with that value.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self._target is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event._triggered = True
+        event.callbacks = [self._resume]
+        self.env._schedule(event, delay=0, priority=URGENT)
+        # Unsubscribe from the event the process was waiting on: the wait
+        # continues to stand (SimPy semantics: the interrupted process may
+        # re-yield the same event), but this resume path must not fire twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
+                    else:
+                        event._defused = True
+                        next_event = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self._triggered = True
+                    self.env._schedule(self, delay=0, priority=NORMAL)
+                    break
+                except BaseException as exc:  # noqa: BLE001 - process crashed
+                    self._ok = False
+                    self._value = exc
+                    self._triggered = True
+                    self.env._schedule(self, delay=0, priority=NORMAL)
+                    break
+
+                if not isinstance(next_event, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded {next_event!r}, expected an Event"
+                    )
+                if next_event.env is not self.env:
+                    raise SimulationError("yielded event belongs to a different Environment")
+                if next_event.callbacks is not None:
+                    # Event still pending or scheduled: subscribe and suspend.
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    break
+                # Event already processed: loop and feed its value straight in.
+                event = next_event
+        finally:
+            self.env._active_proc = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'dead' if self._triggered else 'alive'}>"
+
+
+class ConditionValue:
+    """Dict-like result of :class:`AllOf` / :class:`AnyOf` conditions."""
+
+    def __init__(self, events: list[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events}
+
+
+class Condition(Event):
+    """Composite event over several sub-events (used by all_of / any_of)."""
+
+    __slots__ = ("_events", "_count", "_needed")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], needed: int) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        self._needed = needed if needed >= 0 else len(self._events)
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition spans multiple Environments")
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+            if self._triggered:
+                break
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count >= self._needed:
+            self.succeed(ConditionValue([ev for ev in self._events if ev._triggered]))
+
+
+class Environment:
+    """The simulation environment: clock, event heap, process bookkeeping."""
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now = int(initial_time)
+        self._heap: list[tuple[int, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        events = list(events)
+        return Condition(self, events, needed=len(events))
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, events, needed=1)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: int, priority: int = NORMAL) -> None:
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> int:
+        """Time of the next scheduled event, or a huge sentinel if empty."""
+        return self._heap[0][0] if self._heap else 2**63
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for cb in callbacks or ():
+            cb(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: crash the simulation loudly rather than
+            # silently dropping the error.
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an Event, or heap exhaustion).
+
+        Returns the event's value if ``until`` is an Event.
+        """
+        stop_at: Optional[int] = None
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed.
+                if not stop_event._ok and not stop_event._defused:
+                    raise stop_event._value
+                return stop_event._value
+            stop_event.callbacks.append(self._stop_cb)
+        else:
+            stop_at = int(until)
+            if stop_at <= self._now:
+                raise SimulationError(f"run(until={stop_at}) is not in the future (now={self._now})")
+
+        try:
+            while self._heap:
+                if stop_at is not None and self.peek() > stop_at:
+                    self._now = stop_at
+                    break
+                self.step()
+        except StopSimulation:
+            assert stop_event is not None
+            if not stop_event._ok and not stop_event._defused:
+                raise stop_event._value from None
+            return stop_event._value
+        if stop_event is not None and not stop_event._triggered:
+            raise SimulationError("run() ran out of events before the awaited event fired")
+        if stop_event is not None:
+            if not stop_event._ok and not stop_event._defused:
+                raise stop_event._value
+            return stop_event._value
+        return None
+
+    @staticmethod
+    def _stop_cb(event: Event) -> None:
+        raise StopSimulation()

@@ -1,0 +1,258 @@
+"""Shared-resource primitives for the DES kernel.
+
+- :class:`Resource` — counted capacity (e.g. a lock is capacity 1, a CPU
+  pool is capacity N); FIFO grant order.
+- :class:`PriorityResource` — like Resource but grants by (priority, fifo).
+- :class:`Store` — a queue of Python objects with blocking put/get.
+- :class:`FilterStore` — Store whose get() takes a predicate.
+- :class:`Container` — a divisible quantity (bytes of free space, tokens).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .core import Environment, Event, NORMAL, URGENT
+
+__all__ = ["Resource", "PriorityResource", "Store", "FilterStore", "Container"]
+
+
+class _Request(Event):
+    """A pending claim on a Resource; usable as a context manager."""
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._order += 1
+        self._order = resource._order
+        resource._queue.append(self)
+        resource._trigger_grants()
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        if not self._triggered:
+            try:
+                self.resource._queue.remove(self)
+            except ValueError:
+                pass
+
+
+class Resource:
+    """Counted shared resource with FIFO queuing."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[_Request] = set()
+        self._queue: deque[_Request] = deque()
+        self._order = 0
+        # cumulative integral of `count` over time, for utilization accounting
+        self._busy_ns = 0
+        self._last_change = env.now
+
+    # -- public API -----------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of grants currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> _Request:
+        return _Request(self, priority)
+
+    def release(self, request: _Request) -> None:
+        if request in self._users:
+            self._account()
+            self._users.discard(request)
+            self._trigger_grants()
+        else:
+            request.cancel()
+
+    def busy_time(self) -> int:
+        """Integral of ``count`` over time, in grant-nanoseconds."""
+        return self._busy_ns + (self.env.now - self._last_change) * len(self._users)
+
+    # -- internals ------------------------------------------------------
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_ns += (now - self._last_change) * len(self._users)
+        self._last_change = now
+
+    def _next_request(self) -> Optional[_Request]:
+        return self._queue[0] if self._queue else None
+
+    def _trigger_grants(self) -> None:
+        while len(self._users) < self.capacity:
+            req = self._next_request()
+            if req is None:
+                break
+            self._remove(req)
+            self._account()
+            self._users.add(req)
+            req.succeed(priority=URGENT)
+
+    def _remove(self, req: _Request) -> None:
+        self._queue.remove(req)
+
+
+class PriorityResource(Resource):
+    """Resource granting by (priority, FIFO); lower priority value first."""
+
+    def _next_request(self) -> Optional[_Request]:
+        if not self._queue:
+            return None
+        return min(self._queue, key=lambda r: (r.priority, r._order))
+
+
+class Store:
+    """Unbounded-or-bounded FIFO of items with blocking semantics."""
+
+    def __init__(self, env: Environment, capacity: int | None = None) -> None:
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+        self._watchers: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def when_nonempty(self) -> Event:
+        """Non-consuming wait: fires when the store holds >= 1 item.
+
+        Unlike :meth:`get`, the item stays in the store — used by pollers
+        (LabStor workers) that watch many queues and pop explicitly.
+        """
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed()
+        else:
+            self._watchers.append(ev)
+        return ev
+
+    def _notify_watchers(self) -> None:
+        if self.items and self._watchers:
+            watchers, self._watchers = self._watchers, []
+            for ev in watchers:
+                ev.succeed()
+
+    def put(self, item: Any) -> Event:
+        """Returns an event that fires once the item is accepted."""
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        """Returns an event that fires with the next item."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def try_get(self) -> Any | None:
+        """Non-blocking pop; None when empty."""
+        if self.items:
+            item = self.items.popleft()
+            self._dispatch()
+            return item
+        return None
+
+    def _accept(self) -> None:
+        while self._putters and (self.capacity is None or len(self.items) < self.capacity):
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev.succeed(priority=URGENT)
+
+    def _serve(self) -> None:
+        while self._getters and self.items:
+            ev = self._getters.popleft()
+            ev.succeed(self.items.popleft(), priority=URGENT)
+
+    def _dispatch(self) -> None:
+        self._accept()
+        self._serve()
+        self._accept()
+        self._notify_watchers()
+
+
+class FilterStore(Store):
+    """Store whose getters can demand items matching a predicate."""
+
+    def __init__(self, env: Environment, capacity: int | None = None) -> None:
+        super().__init__(env, capacity)
+        self._filter_getters: deque[tuple[Event, Callable[[Any], bool]]] = deque()
+
+    def get(self, filter: Callable[[Any], bool] | None = None) -> Event:  # noqa: A002
+        if filter is None:
+            return super().get()
+        ev = Event(self.env)
+        self._filter_getters.append((ev, filter))
+        self._dispatch()
+        return ev
+
+    def _serve(self) -> None:
+        super()._serve()
+        served = True
+        while served:
+            served = False
+            for pair in list(self._filter_getters):
+                ev, pred = pair
+                for item in self.items:
+                    if pred(item):
+                        self.items.remove(item)
+                        self._filter_getters.remove(pair)
+                        ev.succeed(item, priority=URGENT)
+                        served = True
+                        break
+
+
+class Container:
+    """A divisible quantity with blocking get (put never blocks)."""
+
+    def __init__(self, env: Environment, init: int = 0, capacity: int | None = None) -> None:
+        if init < 0:
+            raise SimulationError("Container initial level must be >= 0")
+        self.env = env
+        self.capacity = capacity
+        self.level = init
+        self._getters: deque[tuple[Event, int]] = deque()
+
+    def put(self, amount: int) -> None:
+        if amount < 0:
+            raise SimulationError("Container.put amount must be >= 0")
+        self.level += amount
+        if self.capacity is not None:
+            self.level = min(self.level, self.capacity)
+        self._dispatch()
+
+    def get(self, amount: int) -> Event:
+        if amount < 0:
+            raise SimulationError("Container.get amount must be >= 0")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        while self._getters and self._getters[0][1] <= self.level:
+            ev, amount = self._getters.popleft()
+            self.level -= amount
+            ev.succeed(amount, priority=URGENT)

@@ -1,0 +1,185 @@
+"""Online statistics used by experiments and the Work Orchestrator.
+
+- :class:`OnlineStats`: Welford mean/variance plus min/max.
+- :class:`LatencyRecorder`: reservoir of samples with exact percentiles
+  (bounded memory via optional reservoir sampling).
+- :class:`Histogram`: fixed log-spaced latency histogram (HDR-style).
+- :class:`Counter`: monotonically increasing named counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["OnlineStats", "LatencyRecorder", "Histogram", "Counter", "percentile"]
+
+
+def percentile(samples: Iterable[float], p: float) -> float:
+    """Exact percentile (linear interpolation); p in [0, 100]."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sample set")
+    return float(np.percentile(arr, p))
+
+
+class OnlineStats:
+    """Welford single-pass mean/variance with min/max tracking."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Chan et al. parallel merge; returns self."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n, self._mean, self._m2 = other.n, other._mean, other._m2
+            self.min, self.max = other.min, other.max
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+
+class LatencyRecorder:
+    """Collects latency samples (ns) and reports mean/percentiles.
+
+    With ``reservoir`` set, keeps at most that many samples via reservoir
+    sampling (deterministic given the rng), so memory stays bounded on
+    million-request runs while percentiles stay unbiased.
+    """
+
+    def __init__(self, reservoir: int | None = None, rng: np.random.Generator | None = None) -> None:
+        self.stats = OnlineStats()
+        self.reservoir = reservoir
+        self._rng = rng or np.random.default_rng(0)
+        self._samples: list[float] = []
+
+    def add(self, latency_ns: float) -> None:
+        self.stats.add(latency_ns)
+        if self.reservoir is None or len(self._samples) < self.reservoir:
+            self._samples.append(latency_ns)
+        else:
+            j = int(self._rng.integers(0, self.stats.n))
+            if j < self.reservoir:
+                self._samples[j] = latency_ns
+
+    @property
+    def count(self) -> int:
+        return self.stats.n
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    def pct(self, p: float) -> float:
+        return percentile(self._samples, p)
+
+    @property
+    def p50(self) -> float:
+        return self.pct(50)
+
+    @property
+    def p99(self) -> float:
+        return self.pct(99)
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "min": self.stats.min,
+            "max": self.stats.max,
+        }
+
+
+class Histogram:
+    """Log2-bucketed histogram of nanosecond latencies (HDR-style)."""
+
+    def __init__(self, min_ns: int = 1, max_ns: int = 10**12) -> None:
+        self.min_ns = max(1, min_ns)
+        self.max_ns = max_ns
+        nbuckets = int(math.ceil(math.log2(max_ns / self.min_ns))) + 1
+        self.buckets = np.zeros(nbuckets, dtype=np.int64)
+        self.total = 0
+
+    def add(self, ns: float) -> None:
+        ns = max(self.min_ns, min(ns, self.max_ns))
+        idx = int(math.log2(ns / self.min_ns))
+        idx = min(idx, len(self.buckets) - 1)
+        self.buckets[idx] += 1
+        self.total += 1
+
+    def bucket_bounds(self, idx: int) -> tuple[int, int]:
+        lo = self.min_ns * (2**idx)
+        return lo, lo * 2
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (bucket upper bound)."""
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        target = q * self.total
+        cum = 0
+        for i, c in enumerate(self.buckets):
+            cum += int(c)
+            if cum >= target:
+                return float(self.bucket_bounds(i)[1])
+        return float(self.bucket_bounds(len(self.buckets) - 1)[1])
+
+
+class Counter:
+    """A bag of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def asdict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)

@@ -1,0 +1,70 @@
+"""Lightweight structured tracing for simulations.
+
+Components emit ``tracer.emit(category, **fields)``; experiments either
+disable tracing entirely (zero cost beyond one branch) or register sinks
+that aggregate spans.  The anatomy experiment (Fig 4a) is implemented as a
+:class:`SpanAccumulator` sink over per-LabMod spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TraceEvent", "Tracer", "SpanAccumulator"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time_ns: int
+    category: str
+    fields: dict[str, Any]
+
+
+class Tracer:
+    """Pub/sub trace hub. Disabled by default."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self.keep_events = False
+        self._sinks: list[Callable[[TraceEvent], None]] = []
+
+    def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        self._sinks.append(sink)
+        self.enabled = True
+
+    def emit(self, now_ns: int, category: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        ev = TraceEvent(now_ns, category, fields)
+        if self.keep_events:
+            self.events.append(ev)
+        for sink in self._sinks:
+            sink(ev)
+
+
+@dataclass
+class SpanAccumulator:
+    """Accumulates total time per named span out of 'span' trace events.
+
+    Components emit ``tracer.emit(now, "span", name=..., dur_ns=...)``;
+    this sink sums durations per name — exactly the per-LabMod time
+    breakdown the paper reports in Fig 4(a).
+    """
+
+    totals: dict[str, int] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def __call__(self, ev: TraceEvent) -> None:
+        if ev.category != "span":
+            return
+        name = ev.fields["name"]
+        self.totals[name] = self.totals.get(name, 0) + int(ev.fields["dur_ns"])
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def fractions(self) -> dict[str, float]:
+        total = sum(self.totals.values())
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.totals.items())}

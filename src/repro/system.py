@@ -1,0 +1,162 @@
+"""High-level facade: build a complete LabStor deployment in one call.
+
+Wraps environment + devices + Runtime + standard LabMod repo + the
+paper's canonical LabStack configurations:
+
+- ``Lab-All``  — Permissions, LabFS/LabKVS, LRU cache, NoOp sched,
+  Kernel Driver; asynchronous execution (in the Runtime).
+- ``Lab-Min``  — Lab-All minus the Permissions LabMod.
+- ``Lab-D``    — Lab-Min executed synchronously in the client (no
+  centralized authority / IPC on the data path).
+
+This is what the examples and every benchmark harness build on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from .core.client import LabStorClient
+from .core.labstack import LabStack, NodeSpec, StackRules, StackSpec
+from .core.runtime import LabStorRuntime, RuntimeConfig
+from .devices.profiles import make_device
+from .errors import LabStorError
+from .kernel.cpu import DEFAULT_COST, CostModel
+from .mods import STANDARD_REPO
+from .sim import Environment, RngRegistry
+
+__all__ = ["LabStorSystem", "VARIANTS"]
+
+VARIANTS = ("all", "min", "d")
+
+_uuid_seq = itertools.count(1)
+
+
+class LabStorSystem:
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        devices: Iterable[str] = ("nvme",),
+        config: RuntimeConfig | None = None,
+        cost: CostModel = DEFAULT_COST,
+        device_overrides: dict[str, dict] | None = None,
+    ) -> None:
+        self.env = Environment()
+        self.rngs = RngRegistry(seed)
+        self.cost = cost
+        overrides = device_overrides or {}
+        self.devices = {
+            kind: make_device(
+                self.env, kind, rng=self.rngs.stream(f"device.{kind}"), **overrides.get(kind, {})
+            )
+            for kind in devices
+        }
+        self.runtime = LabStorRuntime(self.env, self.devices, cost=cost, config=config)
+        self.runtime.mount_repo("standard", STANDARD_REPO)
+        self._clients: list[LabStorClient] = []
+
+    # ------------------------------------------------------------------
+    # canonical stacks
+    # ------------------------------------------------------------------
+    def fs_stack_spec(
+        self,
+        mount: str,
+        *,
+        variant: str = "all",
+        device: str = "nvme",
+        driver: str = "KernelDriverMod",
+        cache: bool = True,
+        sched: str = "NoOpSchedMod",
+        uuid_prefix: str | None = None,
+        capacity_bytes: int | None = None,
+        nworkers: int = 8,
+    ) -> StackSpec:
+        """Build the spec for one of the paper's LabFS stack variants."""
+        if variant not in VARIANTS:
+            raise LabStorError(f"variant must be one of {VARIANTS}")
+        u = uuid_prefix or f"s{next(_uuid_seq)}"
+        dev = self.devices[device]
+        cap = capacity_bytes or dev.profile.capacity_bytes
+        nodes: list[NodeSpec] = []
+        chain: list[str] = []
+
+        def add(mod_name: str, uuid: str, attrs: dict) -> None:
+            nodes.append(NodeSpec(mod_name=mod_name, uuid=uuid, attrs=attrs))
+            chain.append(uuid)
+
+        if variant == "all":
+            add("PermissionsMod", f"{u}.perm", {})
+        add("LabFs", f"{u}.labfs", {"capacity_bytes": cap, "nworkers": nworkers, "device": device})
+        if cache:
+            add("LruCacheMod", f"{u}.lru", {})
+        if sched:
+            sched_attrs = {"nqueues": dev.nqueues}
+            if sched == "BlkSwitchSchedMod":
+                sched_attrs = {"device": device}
+            add(sched, f"{u}.sched", sched_attrs)
+        add(driver, f"{u}.driver", {"device": device})
+        for i in range(len(nodes) - 1):
+            nodes[i].outputs = [nodes[i + 1].uuid]
+        exec_mode = "sync" if variant == "d" else "async"
+        return StackSpec(mount=mount, nodes=nodes, rules=StackRules(exec_mode=exec_mode))
+
+    def kvs_stack_spec(
+        self,
+        mount: str,
+        *,
+        variant: str = "all",
+        device: str = "nvme",
+        driver: str = "KernelDriverMod",
+        sched: str = "NoOpSchedMod",
+        uuid_prefix: str | None = None,
+        capacity_bytes: int | None = None,
+        nworkers: int = 8,
+    ) -> StackSpec:
+        """The paper's LabKVS stacks: [Permissions,] LabKVS, NoOp, Driver."""
+        if variant not in VARIANTS:
+            raise LabStorError(f"variant must be one of {VARIANTS}")
+        u = uuid_prefix or f"s{next(_uuid_seq)}"
+        dev = self.devices[device]
+        cap = capacity_bytes or dev.profile.capacity_bytes
+        nodes: list[NodeSpec] = []
+        if variant == "all":
+            nodes.append(NodeSpec(mod_name="PermissionsMod", uuid=f"{u}.perm", attrs={}))
+        nodes.append(
+            NodeSpec(
+                mod_name="LabKvs",
+                uuid=f"{u}.labkvs",
+                attrs={"capacity_bytes": cap, "nworkers": nworkers},
+            )
+        )
+        if sched:
+            sched_attrs = {"nqueues": dev.nqueues}
+            if sched == "BlkSwitchSchedMod":
+                sched_attrs = {"device": device}
+            nodes.append(NodeSpec(mod_name=sched, uuid=f"{u}.sched", attrs=sched_attrs))
+        nodes.append(NodeSpec(mod_name=driver, uuid=f"{u}.driver", attrs={"device": device}))
+        for i in range(len(nodes) - 1):
+            nodes[i].outputs = [nodes[i + 1].uuid]
+        exec_mode = "sync" if variant == "d" else "async"
+        return StackSpec(mount=mount, nodes=nodes, rules=StackRules(exec_mode=exec_mode))
+
+    def mount_fs_stack(self, mount: str, **kw) -> LabStack:
+        return self.runtime.mount_stack(self.fs_stack_spec(mount, **kw))
+
+    def mount_kvs_stack(self, mount: str, **kw) -> LabStack:
+        return self.runtime.mount_stack(self.kvs_stack_spec(mount, **kw))
+
+    # ------------------------------------------------------------------
+    def client(self, ordered: bool = True) -> LabStorClient:
+        """Create and connect a client (runs the connect handshake now)."""
+        c = LabStorClient(self.env, self.runtime)
+        self.env.run(self.env.process(c.connect(ordered=ordered)))
+        self._clients.append(c)
+        return c
+
+    def run(self, *args, **kw):
+        return self.env.run(*args, **kw)
+
+    def process(self, gen, **kw):
+        return self.env.process(gen, **kw)

@@ -1,0 +1,81 @@
+"""Unit helpers.
+
+All simulated time is kept as integer **nanoseconds** for determinism and
+all sizes as integer **bytes**.  These helpers exist so that calibration
+constants read like the paper ("4KB request", "20ms compression") instead
+of raw integers.
+"""
+
+from __future__ import annotations
+
+# --- time ----------------------------------------------------------------
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+def usec(x: float) -> int:
+    """Microseconds -> integer nanoseconds."""
+    return round(x * USEC)
+
+
+def msec(x: float) -> int:
+    """Milliseconds -> integer nanoseconds."""
+    return round(x * MSEC)
+
+
+def sec(x: float) -> int:
+    """Seconds -> integer nanoseconds."""
+    return round(x * SEC)
+
+
+def to_usec(ns: int) -> float:
+    return ns / USEC
+
+
+def to_msec(ns: int) -> float:
+    return ns / MSEC
+
+
+def to_sec(ns: int) -> float:
+    return ns / SEC
+
+
+# --- sizes ---------------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+def kib(x: float) -> int:
+    return round(x * KiB)
+
+
+def mib(x: float) -> int:
+    return round(x * MiB)
+
+
+def gib(x: float) -> int:
+    return round(x * GiB)
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable size, e.g. ``fmt_size(4096) == '4.0KiB'``."""
+    value = float(nbytes)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or suffix == "GiB":
+            return f"{value:.1f}{suffix}" if suffix != "B" else f"{int(value)}B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(ns: int) -> str:
+    """Human-readable duration, e.g. ``fmt_time(1500) == '1.50us'``."""
+    if ns < USEC:
+        return f"{ns}ns"
+    if ns < MSEC:
+        return f"{ns / USEC:.2f}us"
+    if ns < SEC:
+        return f"{ns / MSEC:.2f}ms"
+    return f"{ns / SEC:.3f}s"

@@ -1,0 +1,101 @@
+"""A uniform file-API adapter so workloads can drive any filesystem.
+
+FxMark / Filebench / LABIOS / VPIC run identically over:
+
+- :class:`KernelFsAdapter` — the ext4/xfs/f2fs baselines, and
+- :class:`GenericFsAdapter` — LabStor's GenericFS over any LabFS stack.
+
+All methods are process generators.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..kernel.filesystems.base import KernelFilesystem
+from ..mods.generic_fs import GenericFS
+
+__all__ = ["FsApi", "KernelFsAdapter", "GenericFsAdapter"]
+
+
+class FsApi(Protocol):
+    def open(self, path: str, create: bool = False): ...
+    def close(self, fd): ...
+    def write(self, fd, data: bytes, offset: int | None = None): ...
+    def read(self, fd, size: int, offset: int | None = None): ...
+    def seek(self, fd, pos: int): ...
+    def fsync(self, fd): ...
+    def unlink(self, path: str): ...
+    def stat(self, path: str): ...
+
+
+class KernelFsAdapter:
+    """Kernel filesystem baseline behind the uniform API."""
+
+    def __init__(self, fs: KernelFilesystem) -> None:
+        self.fs = fs
+        self.env = fs.env
+
+    def open(self, path: str, create: bool = False):
+        return (yield self.env.process(self.fs.open(path, create=create)))
+
+    def close(self, fd):
+        yield self.env.process(self.fs.close(fd))
+
+    def write(self, fd, data: bytes, offset: int | None = None):
+        return (yield self.env.process(self.fs.write(fd, data, offset=offset)))
+
+    def read(self, fd, size: int, offset: int | None = None):
+        return (yield self.env.process(self.fs.read(fd, size, offset=offset)))
+
+    def seek(self, fd, pos: int):
+        yield self.env.process(self.fs.seek(fd, pos))
+
+    def fsync(self, fd):
+        yield self.env.process(self.fs.fsync(fd))
+
+    def unlink(self, path: str):
+        yield self.env.process(self.fs.unlink(path))
+
+    def stat(self, path: str):
+        return (yield self.env.process(self.fs.stat(path)))
+
+
+class GenericFsAdapter:
+    """LabStor GenericFS behind the uniform API.
+
+    ``prefix`` maps workload-relative paths under the stack's mount point
+    (e.g. prefix="fs::/t" turns "/f1" into "fs::/t/f1").
+    """
+
+    def __init__(self, gfs: GenericFS, prefix: str) -> None:
+        self.gfs = gfs
+        self.env = gfs.env
+        self.prefix = prefix.rstrip("/")
+
+    def _p(self, path: str) -> str:
+        return self.prefix + path
+
+    def open(self, path: str, create: bool = False):
+        return (yield from self.gfs.open(self._p(path), create=create))
+
+    def close(self, fd):
+        yield from self.gfs.close(fd)
+
+    def write(self, fd, data: bytes, offset: int | None = None):
+        return (yield from self.gfs.write(fd, data, offset=offset))
+
+    def read(self, fd, size: int, offset: int | None = None):
+        return (yield from self.gfs.read(fd, size, offset=offset))
+
+    def seek(self, fd, pos: int):
+        yield from self.gfs.seek(fd, pos)
+
+    def fsync(self, fd):
+        yield from self.gfs.fsync(fd)
+
+    def unlink(self, path: str):
+        yield from self.gfs.unlink(self._p(path))
+
+    def stat(self, path: str):
+        return (yield from self.gfs.stat(self._p(path)))

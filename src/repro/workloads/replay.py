@@ -1,0 +1,189 @@
+"""Record and replay file-API traces.
+
+A downstream user evaluating a LabStack wants to drive it with *their*
+application's I/O, not a synthetic mix.  This module provides:
+
+- :class:`RecordingApi` — wraps any FsApi; every operation is captured as
+  a :class:`TraceOp` while passing through unchanged.
+- ``save_trace`` / ``load_trace`` — JSON-lines serialization (payloads are
+  stored as sizes; replay regenerates deterministic bytes).
+- ``replay_trace`` — drives any FsApi with a recorded trace, preserving
+  per-thread ordering, and reports latency statistics.
+
+Recorded traces are portable across backends: record against ext4, replay
+against a LabStack (or vice versa) to compare stacks on identical op
+streams.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..sim import Environment, LatencyRecorder
+from ..units import sec
+
+__all__ = ["TraceOp", "RecordingApi", "save_trace", "load_trace", "replay_trace", "ReplayResult"]
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    kind: str                 # open/create/close/read/write/seek/fsync/unlink/stat/mkdir
+    tid: int = 0              # logical thread: replay preserves per-tid order
+    path: str | None = None
+    handle: int | None = None  # logical fd id (trace-local)
+    offset: int | None = None
+    size: int = 0
+    create: bool = False
+
+    def to_json(self) -> str:
+        # drop only fields at their dataclass defaults that from_json restores
+        d = {k: v for k, v in self.__dict__.items() if v is not None}
+        if not d.get("create"):
+            d.pop("create", None)
+        if d.get("size") == 0:
+            d.pop("size", None)
+        return json.dumps(d, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceOp":
+        return cls(**json.loads(line))
+
+
+class RecordingApi:
+    """FsApi wrapper capturing every call into ``self.ops``."""
+
+    def __init__(self, inner, tid: int = 0) -> None:
+        self.inner = inner
+        self.tid = tid
+        self.ops: list[TraceOp] = []
+        self._fd_ids: dict[Any, int] = {}
+        self._next_handle = 0
+
+    def _handle_for(self, fd) -> int:
+        if fd not in self._fd_ids:
+            self._fd_ids[fd] = self._next_handle
+            self._next_handle += 1
+        return self._fd_ids[fd]
+
+    def open(self, path: str, create: bool = False):
+        fd = yield from self.inner.open(path, create=create)
+        self.ops.append(TraceOp(kind="open", tid=self.tid, path=path,
+                                handle=self._handle_for(fd), create=create))
+        return fd
+
+    def close(self, fd):
+        self.ops.append(TraceOp(kind="close", tid=self.tid, handle=self._handle_for(fd)))
+        yield from self.inner.close(fd)
+
+    def write(self, fd, data: bytes, offset: int | None = None):
+        self.ops.append(TraceOp(kind="write", tid=self.tid, handle=self._handle_for(fd),
+                                offset=offset, size=len(data)))
+        return (yield from self.inner.write(fd, data, offset=offset))
+
+    def read(self, fd, size: int, offset: int | None = None):
+        self.ops.append(TraceOp(kind="read", tid=self.tid, handle=self._handle_for(fd),
+                                offset=offset, size=size))
+        return (yield from self.inner.read(fd, size, offset=offset))
+
+    def seek(self, fd, pos: int):
+        self.ops.append(TraceOp(kind="seek", tid=self.tid, handle=self._handle_for(fd),
+                                offset=pos))
+        yield from self.inner.seek(fd, pos)
+
+    def fsync(self, fd):
+        self.ops.append(TraceOp(kind="fsync", tid=self.tid, handle=self._handle_for(fd)))
+        yield from self.inner.fsync(fd)
+
+    def unlink(self, path: str):
+        self.ops.append(TraceOp(kind="unlink", tid=self.tid, path=path))
+        yield from self.inner.unlink(path)
+
+    def stat(self, path: str):
+        self.ops.append(TraceOp(kind="stat", tid=self.tid, path=path))
+        return (yield from self.inner.stat(path))
+
+
+def save_trace(ops: list[TraceOp]) -> str:
+    """Serialize to JSON lines."""
+    return "\n".join(op.to_json() for op in ops)
+
+
+def load_trace(text: str) -> list[TraceOp]:
+    return [TraceOp.from_json(line) for line in text.splitlines() if line.strip()]
+
+
+@dataclass
+class ReplayResult:
+    ops: int
+    elapsed_ns: int
+    latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder(reservoir=20_000))
+    errors: int = 0
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / (self.elapsed_ns / sec(1)) if self.elapsed_ns else 0.0
+
+
+def replay_trace(env: Environment, api_factory, ops: list[TraceOp],
+                 *, seed: int = 0, strict: bool = True) -> ReplayResult:
+    """Replay a trace; per-tid op order is preserved, tids run concurrently.
+
+    ``api_factory(tid)`` builds the FsApi each logical thread drives.
+    With ``strict=False`` individual op failures (e.g. replaying against a
+    tree with different contents) are counted instead of raised.
+    """
+    by_tid: dict[int, list[TraceOp]] = {}
+    for op in ops:
+        by_tid.setdefault(op.tid, []).append(op)
+    result = ReplayResult(ops=0, elapsed_ns=0)
+    rng = np.random.default_rng(seed)
+    payload_pool = bytes(rng.integers(32, 127, 1 << 20, dtype=np.uint8))
+
+    def payload(size: int) -> bytes:
+        if size <= len(payload_pool):
+            return payload_pool[:size]
+        return (payload_pool * (size // len(payload_pool) + 1))[:size]
+
+    def thread(tid: int, tops: list[TraceOp]):
+        api = api_factory(tid)
+        fds: dict[int, Any] = {}
+        for op in tops:
+            start = env.now
+            try:
+                if op.kind == "open":
+                    fds[op.handle] = yield from api.open(op.path, create=op.create)
+                elif op.kind == "close":
+                    yield from api.close(fds.pop(op.handle))
+                elif op.kind == "write":
+                    yield from api.write(fds[op.handle], payload(op.size), offset=op.offset)
+                elif op.kind == "read":
+                    yield from api.read(fds[op.handle], op.size, offset=op.offset)
+                elif op.kind == "seek":
+                    yield from api.seek(fds[op.handle], op.offset or 0)
+                elif op.kind == "fsync":
+                    yield from api.fsync(fds[op.handle])
+                elif op.kind == "unlink":
+                    yield from api.unlink(op.path)
+                elif op.kind == "stat":
+                    yield from api.stat(op.path)
+                else:
+                    raise ValueError(f"unknown trace op kind {op.kind!r}")
+            except ValueError:
+                raise
+            except Exception:
+                if strict:
+                    raise
+                result.errors += 1
+                continue
+            result.latency.add(env.now - start)
+            result.ops += 1
+
+    start = env.now
+    procs = [env.process(thread(tid, tops)) for tid, tops in sorted(by_tid.items())]
+    env.run(env.all_of(procs))
+    result.elapsed_ns = env.now - start
+    return result

@@ -1,0 +1,73 @@
+"""VPIC and BD-CATS workload models (paper Fig 9(a)).
+
+VPIC is a particle-in-cell simulation: at every time step each rank
+writes its particle buffer (particles x 8 float32) to the PFS.  BD-CATS
+is the companion analytics code that reads all particle data back for
+parallel clustering.  The paper runs 640 ranks x 16 steps x 8M particles
+(165GB); we keep the access pattern and scale the sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pfs.orangefs import OrangeFs, PfsResult
+from ..sim import Environment
+
+__all__ = ["VpicConfig", "run_vpic", "run_bdcats"]
+
+
+@dataclass(frozen=True)
+class VpicConfig:
+    nprocs: int = 8
+    timesteps: int = 4
+    particles_per_proc: int = 4096
+    floats_per_particle: int = 8
+
+    @property
+    def bytes_per_rank_step(self) -> int:
+        return self.particles_per_proc * self.floats_per_particle * 4
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_rank_step * self.nprocs * self.timesteps
+
+
+def _particles(cfg: VpicConfig, rank: int, step: int) -> bytes:
+    rng = np.random.default_rng(rank * 1000 + step)
+    arr = rng.random(cfg.particles_per_proc * cfg.floats_per_particle, dtype=np.float32)
+    return arr.tobytes()
+
+
+def run_vpic(env: Environment, pfs: OrangeFs, cfg: VpicConfig) -> PfsResult:
+    """All ranks write their particle buffers for every time step."""
+
+    def rank_proc(rank: int):
+        for step in range(cfg.timesteps):
+            data = _particles(cfg, rank, step)
+            yield from pfs.write_file(f"/vpic/r{rank}_t{step}", data)
+
+    start = env.now
+    meta0 = pfs.metadata_ops
+    procs = [env.process(rank_proc(r)) for r in range(cfg.nprocs)]
+    env.run(env.all_of(procs))
+    return PfsResult(bytes_moved=cfg.total_bytes, metadata_ops=pfs.metadata_ops - meta0,
+                     elapsed_ns=env.now - start)
+
+
+def run_bdcats(env: Environment, pfs: OrangeFs, cfg: VpicConfig) -> PfsResult:
+    """All ranks read back the particle data (clustering input)."""
+
+    def rank_proc(rank: int):
+        for step in range(cfg.timesteps):
+            data = yield from pfs.read_file(f"/vpic/r{rank}_t{step}")
+            assert len(data) == cfg.bytes_per_rank_step
+
+    start = env.now
+    meta0 = pfs.metadata_ops
+    procs = [env.process(rank_proc(r)) for r in range(cfg.nprocs)]
+    env.run(env.all_of(procs))
+    return PfsResult(bytes_moved=cfg.total_bytes, metadata_ops=pfs.metadata_ops - meta0,
+                     elapsed_ns=env.now - start)

@@ -1,0 +1,293 @@
+"""Tests for LabMod base machinery, registry, LabStack and Namespace."""
+
+import pytest
+
+from repro.core import (
+    LabMod,
+    LabRequest,
+    LabStack,
+    ModContext,
+    ModuleRegistry,
+    NodeSpec,
+    StackNamespace,
+    StackRules,
+    StackSpec,
+)
+from repro.core.labmod import ExecContext
+from repro.errors import LabStorError, ModuleNotFound, StackValidationError
+from repro.sim import Environment, Tracer
+from repro.kernel import DEFAULT_COST
+
+
+class SourceMod(LabMod):
+    mod_type = "test"
+    accepts = ("msg.",)
+    emits = ("msg.",)
+
+    def handle(self, req, x):
+        yield from x.work(10, span="source")
+        self.processed += 1
+        return (yield from self.forward(req, x))
+
+
+class SinkMod(LabMod):
+    mod_type = "test"
+    accepts = ("msg.",)
+    emits = ()
+
+    def __init__(self, uuid, ctx):
+        super().__init__(uuid, ctx)
+        self.seen = []
+
+    def handle(self, req, x):
+        yield from x.work(5, span="sink")
+        self.seen.append(req.payload.get("value"))
+        self.processed += 1
+        return f"sunk:{req.payload.get('value')}"
+
+    def state_update(self, old):
+        super().state_update(old)
+        if isinstance(old, SinkMod):
+            self.seen = list(old.seen)
+
+
+class IncompatibleMod(LabMod):
+    mod_type = "test"
+    accepts = ("blk.",)
+    emits = ()
+
+    def handle(self, req, x):
+        yield from x.work(1)
+
+
+def make_ctx():
+    env = Environment()
+    return env, ModContext(env, DEFAULT_COST, Tracer())
+
+
+def make_registry():
+    env, ctx = make_ctx()
+    reg = ModuleRegistry(ctx)
+    reg.mount_repo("test", {"SourceMod": SourceMod, "SinkMod": SinkMod,
+                            "IncompatibleMod": IncompatibleMod})
+    return env, reg
+
+
+# --- registry -------------------------------------------------------------
+def test_registry_instantiate_once_per_uuid():
+    env, reg = make_registry()
+    a = reg.instantiate("SourceMod", "m0")
+    b = reg.instantiate("SourceMod", "m0")
+    assert a is b
+    assert "m0" in reg
+
+
+def test_registry_unknown_name():
+    env, reg = make_registry()
+    with pytest.raises(ModuleNotFound):
+        reg.instantiate("NoSuchMod", "x")
+
+
+def test_registry_unknown_uuid():
+    env, reg = make_registry()
+    with pytest.raises(ModuleNotFound):
+        reg.get("ghost")
+
+
+def test_repo_unmount_removes_classes():
+    env, reg = make_registry()
+    reg.unmount_repo("test")
+    with pytest.raises(ModuleNotFound):
+        reg.resolve_class("SourceMod")
+
+
+def test_repo_per_user_limit():
+    env, ctx = make_ctx()
+    reg = ModuleRegistry(ctx, max_repos_per_user=1)
+    reg.mount_repo("a", {}, owner_uid=7)
+    with pytest.raises(LabStorError, match="max repos"):
+        reg.mount_repo("b", {}, owner_uid=7)
+    reg.mount_repo("c", {}, owner_uid=8)  # different user ok
+
+
+def test_hot_swap_preserves_wiring_and_state():
+    env, reg = make_registry()
+    src = reg.instantiate("SourceMod", "src")
+    sink = reg.instantiate("SinkMod", "sink")
+    src.next = [sink]
+    sink.seen.append("before")
+
+    class SinkModV2(SinkMod):
+        pass
+
+    new_sink = reg.hot_swap("sink", SinkModV2)
+    assert reg.get("sink") is new_sink
+    assert src.next == [new_sink]
+    assert new_sink.seen == ["before"]
+    assert new_sink.version == 2
+
+
+# --- stack validation ------------------------------------------------------
+def _spec(nodes, mount="t::/x", exec_mode="async"):
+    return StackSpec(mount=mount, nodes=nodes, rules=StackRules(exec_mode=exec_mode))
+
+
+def test_stack_builds_and_wires_linear_chain():
+    env, reg = make_registry()
+    spec = StackSpec.linear("t::/x", [("SourceMod", "a"), ("SinkMod", "b")])
+    stack = LabStack(spec, reg)
+    assert stack.entry.uuid == "a"
+    assert stack.mods["a"].next == [stack.mods["b"]]
+
+
+def test_stack_rejects_cycle():
+    env, reg = make_registry()
+    nodes = [
+        NodeSpec("SourceMod", "a", outputs=["b"]),
+        NodeSpec("SourceMod", "b", outputs=["a"]),
+    ]
+    with pytest.raises(StackValidationError, match="cycle"):
+        LabStack(_spec(nodes), reg)
+
+
+def test_stack_rejects_unknown_output():
+    env, reg = make_registry()
+    nodes = [NodeSpec("SourceMod", "a", outputs=["ghost"])]
+    with pytest.raises(StackValidationError, match="unknown uuid"):
+        LabStack(_spec(nodes), reg)
+
+
+def test_stack_rejects_duplicate_uuid():
+    env, reg = make_registry()
+    nodes = [NodeSpec("SourceMod", "a"), NodeSpec("SinkMod", "a")]
+    with pytest.raises(StackValidationError, match="duplicate"):
+        LabStack(_spec(nodes), reg)
+
+
+def test_stack_rejects_incompatible_edge():
+    env, reg = make_registry()
+    nodes = [
+        NodeSpec("SourceMod", "a", outputs=["b"]),   # emits msg.
+        NodeSpec("IncompatibleMod", "b"),            # accepts blk.
+    ]
+    with pytest.raises(StackValidationError, match="incompatible"):
+        LabStack(_spec(nodes), reg)
+
+
+def test_stack_rejects_empty_and_too_long():
+    env, reg = make_registry()
+    with pytest.raises(StackValidationError, match="no LabMods"):
+        LabStack(_spec([]), reg)
+    chain = [("SourceMod", f"n{i}") for i in range(LabStack.MAX_LENGTH)] + [("SinkMod", "sink")]
+    with pytest.raises(StackValidationError, match="max length"):
+        LabStack(StackSpec.linear("t::/y", chain), reg)
+
+
+def test_stack_rejects_bad_exec_mode():
+    env, reg = make_registry()
+    nodes = [NodeSpec("SinkMod", "a")]
+    with pytest.raises(StackValidationError, match="exec_mode"):
+        LabStack(_spec(nodes, exec_mode="warp"), reg)
+
+
+def test_stack_entry_requires_unique_root():
+    env, reg = make_registry()
+    nodes = [NodeSpec("SourceMod", "a", outputs=["c"]),
+             NodeSpec("SourceMod", "b", outputs=["c"]),
+             NodeSpec("SinkMod", "c")]
+    stack = LabStack(_spec(nodes), reg)
+    with pytest.raises(StackValidationError, match="exactly one entry"):
+        _ = stack.entry
+
+
+def test_stack_execution_end_to_end():
+    env, reg = make_registry()
+    spec = StackSpec.linear("t::/x", [("SourceMod", "a"), ("SinkMod", "b")])
+    stack = LabStack(spec, reg)
+    x = ExecContext(env, Tracer())
+
+    def proc():
+        return (yield from stack.entry.handle(LabRequest(op="msg.send", payload={"value": 7}), x))
+
+    assert env.run(env.process(proc())) == "sunk:7"
+    assert stack.mods["b"].seen == [7]
+
+
+def test_modify_stack_insert_and_remove():
+    env, reg = make_registry()
+    spec = StackSpec.linear("t::/x", [("SourceMod", "a"), ("SinkMod", "z")])
+    stack = LabStack(spec, reg)
+    stack.insert_after("a", NodeSpec("SourceMod", "mid"))
+    assert [n.uuid for n in stack.spec.nodes] == ["a", "mid", "z"]
+    assert stack.mods["a"].next[0].uuid == "mid"
+    stack.remove_node("mid")
+    assert [n.uuid for n in stack.spec.nodes] == ["a", "z"]
+    assert stack.mods["a"].next[0].uuid == "z"
+
+
+def test_modify_stack_bad_anchor():
+    env, reg = make_registry()
+    stack = LabStack(StackSpec.linear("t::/x", [("SinkMod", "a")]), reg)
+    with pytest.raises(StackValidationError):
+        stack.insert_after("ghost", NodeSpec("SourceMod", "m"))
+    with pytest.raises(StackValidationError):
+        stack.remove_node("ghost")
+
+
+def test_shared_uuid_across_stacks_shares_instance():
+    """Two stacks naming the same UUID share one LabMod instance."""
+    env, reg = make_registry()
+    s1 = LabStack(StackSpec.linear("t::/a", [("SourceMod", "src1"), ("SinkMod", "shared")]), reg)
+    s2 = LabStack(StackSpec.linear("t::/b", [("SourceMod", "src2"), ("SinkMod", "shared")]), reg)
+    assert s1.mods["shared"] is s2.mods["shared"]
+
+
+# --- namespace ----------------------------------------------------------
+def test_namespace_exact_and_prefix_resolution():
+    env, reg = make_registry()
+    ns = StackNamespace()
+    stack = LabStack(StackSpec.linear("fs::/b", [("SinkMod", "s1")]), reg)
+    ns.register(stack)
+    got, rem = ns.resolve("fs::/b/hi.txt")
+    assert got is stack
+    assert rem == "/hi.txt"
+    got2, rem2 = ns.resolve("fs::/b")
+    assert got2 is stack
+    assert rem2 == "/"
+
+
+def test_namespace_longest_prefix_wins():
+    env, reg = make_registry()
+    ns = StackNamespace()
+    outer = LabStack(StackSpec.linear("fs::/b", [("SinkMod", "o")]), reg)
+    inner = LabStack(StackSpec.linear("fs::/b/deep", [("SinkMod", "i")]), reg)
+    ns.register(outer)
+    ns.register(inner)
+    got, rem = ns.resolve("fs::/b/deep/file")
+    assert got is inner
+    assert rem == "/file"
+
+
+def test_namespace_unresolved_path():
+    ns = StackNamespace()
+    with pytest.raises(LabStorError, match="no LabStack"):
+        ns.resolve("fs::/nowhere/file")
+
+
+def test_namespace_duplicate_mount_rejected():
+    env, reg = make_registry()
+    ns = StackNamespace()
+    ns.register(LabStack(StackSpec.linear("fs::/b", [("SinkMod", "s1")]), reg))
+    with pytest.raises(LabStorError, match="already"):
+        ns.register(LabStack(StackSpec.linear("fs::/b", [("SinkMod", "s2")]), reg))
+
+
+def test_namespace_unregister():
+    env, reg = make_registry()
+    ns = StackNamespace()
+    stack = LabStack(StackSpec.linear("fs::/b", [("SinkMod", "s1")]), reg)
+    sid = ns.register(stack)
+    ns.unregister("fs::/b")
+    assert "fs::/b" not in ns
+    with pytest.raises(LabStorError):
+        ns.get_by_id(sid)

@@ -1,0 +1,314 @@
+"""Integration tests: Runtime + Workers + Client + live upgrades + crash."""
+
+import pytest
+
+from repro.core import LabRequest, RuntimeConfig, StackSpec, UpgradeRequest
+from repro.errors import LabStorError, UpgradeError
+from repro.mods.dummy import DummyMod, DummyModV2
+from repro.mods.generic_fs import GenericFS
+from repro.mods.generic_kvs import GenericKVS
+from repro.system import LabStorSystem
+from repro.units import msec, sec
+
+
+def make_dummy_system(**cfg_kw):
+    sys_ = LabStorSystem(devices=("nvme",), config=RuntimeConfig(**cfg_kw))
+    spec = StackSpec.linear("msg::/dummy", [("DummyMod", "dummy0")])
+    stack = sys_.runtime.mount_stack(spec)
+    return sys_, stack
+
+
+def test_mount_stack_from_yaml_text():
+    sys_ = LabStorSystem(devices=("nvme",))
+    yaml_text = """
+mount: fs::/y
+rules:
+  exec_mode: async
+labmods:
+  - mod: LabFs
+    uuid: yfs
+    attrs:
+      capacity_bytes: 268435456
+      device: nvme
+    outputs: [ydrv]
+  - mod: KernelDriverMod
+    uuid: ydrv
+    attrs:
+      device: nvme
+"""
+    stack = sys_.runtime.mount_stack(yaml_text)
+    assert stack.mount == "fs::/y"
+    assert stack.entry.uuid == "yfs"
+
+
+def test_async_round_trip_through_worker():
+    sys_, stack = make_dummy_system()
+    client = sys_.client()
+
+    def proc():
+        result = yield from client.call(
+            stack, LabRequest(op="msg.send", payload={"value": "ping"})
+        )
+        return result
+
+    result = sys_.run(sys_.process(proc()))
+    assert result == {"echo": "ping", "version": 1}
+    assert sys_.runtime.registry.get("dummy0").messages == 1
+
+
+def test_concurrent_clients_roundtrip():
+    sys_, stack = make_dummy_system(nworkers=2)
+    clients = [sys_.client() for _ in range(4)]
+    results = []
+
+    def proc(c, i):
+        r = yield from c.call(stack, LabRequest(op="msg.send", payload={"value": i}))
+        results.append(r["echo"])
+
+    procs = [sys_.process(proc(c, i)) for i, c in enumerate(clients)]
+    sys_.run(sys_.env.all_of(procs))
+    assert sorted(results) == [0, 1, 2, 3]
+
+
+def test_module_error_propagates_to_client():
+    sys_ = LabStorSystem(devices=("nvme",))
+    stack = sys_.mount_fs_stack("fs::/m", variant="all")
+    client = sys_.client()
+    gfs = GenericFS(client)
+
+    def proc():
+        with pytest.raises(Exception, match="ENOENT"):
+            yield from gfs.open("fs::/m/missing.txt")
+        return True
+
+    assert sys_.run(sys_.process(proc()))
+
+
+def test_sync_stack_bypasses_runtime_queues():
+    sys_ = LabStorSystem(devices=("nvme",))
+    stack = sys_.mount_fs_stack("fs::/d", variant="d")
+    client = sys_.client()
+    gfs = GenericFS(client)
+    before = sum(w.processed for w in sys_.runtime.orchestrator.workers)
+
+    def proc():
+        yield from gfs.write_file("fs::/d/f", b"x" * 4096)
+        return (yield from gfs.read_file("fs::/d/f"))
+
+    assert sys_.run(sys_.process(proc())) == b"x" * 4096
+    after = sum(w.processed for w in sys_.runtime.orchestrator.workers)
+    assert after == before  # no worker involvement
+
+
+def test_sync_variant_lower_latency_than_async():
+    def one_write(variant):
+        sys_ = LabStorSystem(devices=("nvme",))
+        sys_.mount_fs_stack("fs::/v", variant=variant)
+        client = sys_.client()
+        gfs = GenericFS(client)
+
+        def proc():
+            fd = yield from gfs.open("fs::/v/f", create=True)
+            start = sys_.env.now
+            yield from gfs.write(fd, b"d" * 4096, offset=0)
+            return sys_.env.now - start
+
+        return sys_.run(sys_.process(proc()))
+
+    assert one_write("d") < one_write("min")
+
+
+def test_kvs_stack_put_get_remove():
+    sys_ = LabStorSystem(devices=("nvme",))
+    sys_.mount_kvs_stack("kvs::/store", variant="all")
+    client = sys_.client()
+    kvs = GenericKVS(client, "kvs::/store")
+
+    def proc():
+        yield from kvs.put("alpha", b"A" * 10_000)
+        data = yield from kvs.get("alpha")
+        yield from kvs.remove("alpha")
+        exists = yield from kvs.exists("alpha")
+        return data, exists
+
+    data, exists = sys_.run(sys_.process(proc()))
+    assert data == b"A" * 10_000
+    assert exists is False
+
+
+# --- live upgrades ---------------------------------------------------------
+def test_centralized_upgrade_swaps_and_preserves_state():
+    sys_, stack = make_dummy_system(admin_poll_ns=msec(0.5))
+    client = sys_.client()
+    versions_seen = set()
+    sent = {"n": 0}
+
+    def traffic():
+        # keep messaging until we observe the upgraded module answer
+        for i in range(100_000):
+            r = yield from client.call(stack, LabRequest(op="msg.send", payload={"value": i}))
+            versions_seen.add(r["version"])
+            sent["n"] += 1
+            if r["version"] >= 2 and sent["n"] > 10:
+                break
+
+    def upgrader():
+        yield sys_.env.timeout(msec(0.2))
+        sys_.runtime.modify_mods(UpgradeRequest(mod_name="DummyMod", new_cls=DummyModV2))
+
+    p = sys_.process(traffic())
+    sys_.process(upgrader())
+    sys_.run(p)
+    mod = sys_.runtime.registry.get("dummy0")
+    assert isinstance(mod, DummyModV2)
+    assert mod.version == 2
+    assert mod.messages == sent["n"]  # state carried across the swap
+    assert versions_seen == {1, 2}  # messages processed by both versions
+
+
+def test_upgrade_of_unknown_mod_type_errors():
+    sys_, stack = make_dummy_system(admin_poll_ns=msec(0.5))
+    sys_.runtime.modify_mods(UpgradeRequest(mod_name="GhostMod", new_cls=DummyModV2))
+    with pytest.raises(UpgradeError):
+        sys_.run(until=msec(30))
+
+
+def test_decentralized_upgrade_slower_than_centralized():
+    def upgrade_elapsed(kind):
+        sys_, stack = make_dummy_system(admin_poll_ns=msec(0.5))
+        client = sys_.client()
+        sys_.runtime.modify_mods(
+            UpgradeRequest(mod_name="DummyMod", new_cls=DummyModV2, upgrade_type=kind)
+        )
+        start = sys_.env.now
+
+        def wait_done():
+            while sys_.runtime.module_manager.upgrades_done == 0:
+                yield sys_.env.timeout(msec(0.1))
+
+        sys_.run(sys_.process(wait_done()))
+        return sys_.env.now - start
+
+    assert upgrade_elapsed("decentralized") > upgrade_elapsed("centralized")
+
+
+def test_unknown_upgrade_type_rejected():
+    with pytest.raises(UpgradeError):
+        UpgradeRequest(mod_name="DummyMod", new_cls=DummyModV2, upgrade_type="sideways")
+
+
+def test_requests_flow_after_upgrade_resumes_queues():
+    sys_, stack = make_dummy_system(admin_poll_ns=msec(0.5))
+    client = sys_.client()
+    sys_.runtime.modify_mods(UpgradeRequest(mod_name="DummyMod", new_cls=DummyModV2))
+
+    def proc():
+        yield sys_.env.timeout(msec(20))  # let the upgrade complete first
+        return (yield from client.call(stack, LabRequest(op="msg.send", payload={"value": "after"})))
+
+    r = sys_.run(sys_.process(proc()))
+    assert r == {"echo": "after", "version": 2}
+
+
+# --- crash recovery ----------------------------------------------------------
+def test_crash_and_restart_completes_inflight_request():
+    sys_, stack = make_dummy_system(restart_wait_ns=msec(5))
+    client = sys_.client()
+    result = {}
+
+    def app():
+        r = yield from client.call(stack, LabRequest(op="msg.send", payload={"value": "survive"}))
+        result["r"] = r
+
+    def chaos():
+        # crash before the request is submitted-to-worker window elapses
+        sys_.runtime.crash()
+        yield sys_.env.timeout(msec(10))
+        yield sys_.env.process(sys_.runtime.restart())
+
+    sys_.process(chaos())
+
+    def app_delayed():
+        yield sys_.env.timeout(1000)  # submit while runtime is down
+        yield from app()
+
+    p = sys_.process(app_delayed())
+    sys_.run(p)
+    assert result["r"]["echo"] == "survive"
+    assert sys_.runtime.crashes == 1
+
+
+def test_crash_twice_rejected_without_restart():
+    sys_, _ = make_dummy_system()
+    sys_.runtime.crash()
+    with pytest.raises(LabStorError):
+        sys_.runtime.crash()
+
+
+def test_restart_when_online_rejected():
+    sys_, _ = make_dummy_system()
+
+    def proc():
+        with pytest.raises(LabStorError):
+            yield sys_.env.process(sys_.runtime.restart())
+        return True
+
+    assert sys_.run(sys_.process(proc()))
+
+
+def test_state_repair_called_on_restart():
+    sys_, stack = make_dummy_system()
+    repaired = []
+    mod = sys_.runtime.registry.get("dummy0")
+    mod.state_repair = lambda: repaired.append(True)  # type: ignore[method-assign]
+    sys_.runtime.crash()
+
+    def proc():
+        yield sys_.env.process(sys_.runtime.restart())
+
+    sys_.run(sys_.process(proc()))
+    assert repaired == [True]
+
+
+# --- fork / execve ------------------------------------------------------------
+def test_fork_inherits_fd_table():
+    sys_ = LabStorSystem(devices=("nvme",))
+    sys_.mount_fs_stack("fs::/f", variant="min")
+    client = sys_.client()
+    gfs = GenericFS(client)
+
+    def proc():
+        fd = yield from gfs.open("fs::/f/shared", create=True)
+        child = yield sys_.env.process(client.fork())
+        return fd, child
+
+    fd, child = sys_.run(sys_.process(proc()))
+    assert fd in child.fd_table
+    assert child.pid != client.pid
+    assert child.fd_table[fd] == client.fd_table[fd]
+
+
+def test_execve_reconnects_and_restores_fds():
+    sys_ = LabStorSystem(devices=("nvme",))
+    sys_.mount_fs_stack("fs::/e", variant="min")
+    client = sys_.client()
+    gfs = GenericFS(client)
+
+    def proc():
+        fd = yield from gfs.open("fs::/e/file", create=True)
+        old_qid = client.conn.qp.qid
+        yield sys_.env.process(client.execve())
+        return fd, old_qid, client.conn.qp.qid
+
+    fd, old_qid, new_qid = sys_.run(sys_.process(proc()))
+    assert new_qid != old_qid
+    assert fd in client.fd_table
+
+
+def test_runtime_stats_shape():
+    sys_, _ = make_dummy_system()
+    sys_.client()
+    stats = sys_.runtime.stats()
+    assert stats["stacks"] == 1
+    assert stats["clients"] == 1
+    assert stats["workers"] >= 1

@@ -1,0 +1,244 @@
+"""Unit tests for Workers and the Work Orchestrator."""
+
+import pytest
+
+from repro.core import DynamicPolicy, LabRequest, RoundRobinPolicy, Worker, WorkOrchestrator
+from repro.ipc import Completion, QueuePair
+from repro.kernel import Cpu
+from repro.sim import Environment
+from repro.units import msec, usec
+
+
+def echo_executor(req, x):
+    yield from x.work(req.payload.get("work_ns", 1000), span="exec")
+    return ("done", req.payload.get("value"))
+
+
+def make_worker(env, cpu=None, **kw):
+    cpu = cpu or Cpu(env, ncores=4)
+    return Worker(env, 0, cpu, echo_executor, **kw), cpu
+
+
+def test_worker_processes_request_and_completes():
+    env = Environment()
+    worker, _ = make_worker(env)
+    qp = QueuePair(env, pop_cost_ns=100)
+    worker.assign(qp)
+    got = []
+
+    def client():
+        qp.submit(LabRequest(op="msg.x", payload={"value": 7}))
+        comp = yield env.process(qp.pop_completion())
+        got.append(comp.value)
+
+    env.process(client())
+    env.run(until=msec(1))
+    assert got == [("done", 7)]
+    assert worker.processed == 1
+
+
+def test_worker_executor_error_reported_not_fatal():
+    env = Environment()
+
+    def bad_executor(req, x):
+        yield x.env.timeout(10)
+        raise ValueError("module bug")
+
+    cpu = Cpu(env, ncores=2)
+    worker = Worker(env, 0, cpu, bad_executor)
+    qp = QueuePair(env)
+    worker.assign(qp)
+    comps = []
+
+    def client():
+        qp.submit(LabRequest(op="msg.x"))
+        comp = yield env.process(qp.pop_completion())
+        comps.append(comp)
+        # worker survives and handles the next request
+        qp.submit(LabRequest(op="msg.y"))
+        comp2 = yield env.process(qp.pop_completion())
+        comps.append(comp2)
+
+    env.process(client())
+    env.run(until=msec(1))
+    assert isinstance(comps[0].error, ValueError)
+    assert comps[1].error is not None  # same bad executor, worker survived
+    assert worker.failed == 2
+    assert worker.proc.is_alive
+
+
+def test_ordered_queue_serializes_unordered_overlaps():
+    env = Environment()
+    log = []
+
+    def slow_executor(req, x):
+        log.append(("start", req.payload["i"], env.now))
+        yield from x.wait(env.timeout(1000))  # off-core wait
+        log.append(("end", req.payload["i"], env.now))
+
+    cpu = Cpu(env, ncores=2)
+    worker = Worker(env, 0, cpu, slow_executor, poll_quantum_ns=100)
+
+    qp_ordered = QueuePair(env, ordered=True, pop_cost_ns=10)
+    worker.assign(qp_ordered)
+    for i in range(3):
+        qp_ordered.submit(LabRequest(op="m", payload={"i": i}))
+    env.run(until=msec(1))
+    starts = [t for kind, i, t in log if kind == "start"]
+    ends = [t for kind, i, t in log if kind == "end"]
+    # ordered: request i+1 starts only after i completed
+    assert all(s >= e for s, e in zip(starts[1:], ends[:-1]))
+
+
+def test_unordered_queue_allows_overlap():
+    env = Environment()
+    inflight_peak = [0]
+    inflight = [0]
+
+    def slow_executor(req, x):
+        inflight[0] += 1
+        inflight_peak[0] = max(inflight_peak[0], inflight[0])
+        yield from x.wait(env.timeout(5000))
+        inflight[0] -= 1
+
+    cpu = Cpu(env, ncores=2)
+    worker = Worker(env, 0, cpu, slow_executor, poll_quantum_ns=100)
+    qp = QueuePair(env, ordered=False, pop_cost_ns=10)
+    worker.assign(qp)
+    for i in range(4):
+        qp.submit(LabRequest(op="m", payload={"i": i}))
+    env.run(until=msec(1))
+    assert inflight_peak[0] > 1
+
+
+def test_worker_sleeps_when_idle_and_wakes_on_work():
+    env = Environment()
+    worker, _ = make_worker(env, idle_sleep_ns=10_000, poll_quantum_ns=1_000)
+    qp = QueuePair(env, pop_cost_ns=10)
+    worker.assign(qp)
+
+    def late_client():
+        yield env.timeout(msec(5))  # long idle gap: worker must sleep
+        qp.submit(LabRequest(op="m", payload={}))
+        comp = yield env.process(qp.pop_completion())
+        return comp
+
+    p = env.process(late_client())
+    env.run(p)
+    # awake time must be far less than the 5ms idle gap
+    assert worker.awake_time() < msec(1)
+
+
+def test_decommission_stops_worker():
+    env = Environment()
+    worker, _ = make_worker(env)
+    qp = QueuePair(env)
+    worker.assign(qp)
+    worker.decommission()
+    env.run(until=usec(100))
+    assert not worker.running
+    assert not worker.proc.is_alive
+
+
+# --- orchestrator ---------------------------------------------------------
+def test_rr_policy_deals_queues_evenly():
+    env = Environment()
+    cpu = Cpu(env, ncores=8)
+    orch = WorkOrchestrator(env, cpu, echo_executor, policy=RoundRobinPolicy(), nworkers=2)
+    qps = [QueuePair(env) for _ in range(6)]
+    for qp in qps:
+        orch.register_queue(qp)
+    snapshot = orch.assignment_snapshot()
+    assert sorted(len(v) for v in snapshot.values()) == [3, 3]
+
+
+def test_dynamic_policy_classifies_lq_cq():
+    policy = DynamicPolicy(lq_threshold_ns=100_000)
+    env = Environment()
+
+    class FastReq:
+        est_ns = 1_000
+
+    class SlowReq:
+        est_ns = 20_000_000
+
+    lq = QueuePair(env)
+    cq = QueuePair(env)
+    lq.submit(FastReq())
+    cq.submit(SlowReq())
+    lqs, cqs = policy.classify([lq, cq])
+    assert lq in lqs and cq in cqs
+
+
+def test_dynamic_policy_separates_lq_cq_workers():
+    env = Environment()
+    cpu = Cpu(env, ncores=8)
+    orch = WorkOrchestrator(env, cpu, echo_executor, policy=DynamicPolicy(), nworkers=4)
+
+    class FastReq:
+        est_ns = 1_000
+
+    class SlowReq:
+        est_ns = 20_000_000
+
+    lqs = [QueuePair(env) for _ in range(2)]
+    cqs = [QueuePair(env) for _ in range(2)]
+    for qp in lqs:
+        qp.submit(FastReq())
+    for qp in cqs:
+        qp.submit(SlowReq())
+    for qp in lqs + cqs:
+        orch.register_queue(qp)
+    snapshot = orch.assignment_snapshot()
+    lq_workers = {w for w, qids in snapshot.items() if any(q.qid in qids for q in lqs)}
+    cq_workers = {w for w, qids in snapshot.items() if any(q.qid in qids for q in cqs)}
+    assert lq_workers and cq_workers
+    assert lq_workers.isdisjoint(cq_workers)
+
+
+def test_orchestrator_scales_up_under_load():
+    env = Environment()
+    cpu = Cpu(env, ncores=16)
+
+    def busy_executor(req, x):
+        yield from x.work(200_000, span="exec")  # 200us CPU per request
+
+    orch = WorkOrchestrator(
+        env, cpu, busy_executor, policy=DynamicPolicy(), nworkers=1,
+        max_workers=8, interval_ns=msec(1),
+    )
+    qp = QueuePair(env, ordered=False)
+    orch.register_queue(qp)
+
+    def flood():
+        for _ in range(3000):
+            qp.submit(LabRequest(op="m", payload={}))
+            yield env.timeout(3_000)  # ~330k req/s demand >> 1 worker capacity
+
+    env.process(flood())
+    env.run(until=msec(8))
+    assert orch.worker_count() > 1
+
+
+def test_decommission_worker_reassigns_queues():
+    env = Environment()
+    cpu = Cpu(env, ncores=8)
+    orch = WorkOrchestrator(env, cpu, echo_executor, nworkers=2)
+    qps = [QueuePair(env) for _ in range(4)]
+    for qp in qps:
+        orch.register_queue(qp)
+    victim = orch.workers[0]
+    orch.decommission_worker(victim)
+    orch.rebalance()
+    snapshot = orch.assignment_snapshot()
+    assert victim.worker_id not in snapshot
+    assigned = [q for qids in snapshot.values() for q in qids]
+    assert sorted(assigned) == sorted(qp.qid for qp in qps)
+
+
+def test_spawn_beyond_max_rejected():
+    env = Environment()
+    cpu = Cpu(env, ncores=8)
+    orch = WorkOrchestrator(env, cpu, echo_executor, nworkers=2, max_workers=2)
+    with pytest.raises(ValueError):
+        orch.spawn_worker()

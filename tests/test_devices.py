@@ -1,0 +1,306 @@
+"""Unit + property tests for repro.devices."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import (
+    BackingStore,
+    BlockRequest,
+    DeviceProfile,
+    IoOp,
+    make_device,
+)
+from repro.errors import DeviceError
+from repro.sim import Environment
+from repro.units import KiB, MiB, usec
+
+
+# --- BackingStore -----------------------------------------------------------
+def test_backing_unwritten_reads_zero():
+    bs = BackingStore(1 * MiB)
+    assert bs.read(1000, 64) == b"\x00" * 64
+
+
+def test_backing_write_read_roundtrip():
+    bs = BackingStore(1 * MiB)
+    bs.write(12345, b"hello world")
+    assert bs.read(12345, 11) == b"hello world"
+
+
+def test_backing_cross_page_write():
+    bs = BackingStore(1 * MiB)
+    data = bytes(range(256)) * 40  # 10240 bytes spanning 3+ pages
+    bs.write(4000, data)
+    assert bs.read(4000, len(data)) == data
+
+
+def test_backing_out_of_range_rejected():
+    bs = BackingStore(4096)
+    with pytest.raises(DeviceError):
+        bs.write(4090, b"too long!")
+    with pytest.raises(DeviceError):
+        bs.read(-1, 4)
+
+
+def test_backing_discard_zeroes_range():
+    bs = BackingStore(1 * MiB)
+    bs.write(0, b"\xff" * 16384)
+    bs.discard(4096, 8192)
+    assert bs.read(0, 4096) == b"\xff" * 4096
+    assert bs.read(4096, 8192) == b"\x00" * 8192
+    assert bs.read(12288, 4096) == b"\xff" * 4096
+
+
+def test_backing_discard_partial_pages():
+    bs = BackingStore(1 * MiB)
+    bs.write(0, b"\xaa" * 12288)
+    bs.discard(100, 200)
+    assert bs.read(0, 100) == b"\xaa" * 100
+    assert bs.read(100, 200) == b"\x00" * 200
+    assert bs.read(300, 100) == b"\xaa" * 100
+
+
+def test_backing_sparse_occupancy():
+    bs = BackingStore(1024 * MiB)
+    assert bs.resident_bytes == 0
+    bs.write(512 * MiB, b"x")
+    assert bs.resident_bytes == 4096
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 60_000), st.binary(min_size=1, max_size=9000)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_backing_matches_flat_buffer_model(writes):
+    """Property: BackingStore behaves exactly like one big bytearray."""
+    cap = 70_000
+    bs = BackingStore(cap)
+    model = bytearray(cap)
+    for offset, data in writes:
+        if offset + len(data) > cap:
+            continue
+        bs.write(offset, data)
+        model[offset : offset + len(data)] = data
+    assert bs.read(0, cap) == bytes(model)
+
+
+# --- BlockDevice service model ----------------------------------------------
+def _write_req(offset, size, hctx=0):
+    return BlockRequest(op=IoOp.WRITE, offset=offset, size=size, data=b"w" * size, hctx=hctx)
+
+
+def test_write_requires_data():
+    with pytest.raises(DeviceError):
+        BlockRequest(op=IoOp.WRITE, offset=0, size=8)
+
+
+def test_write_size_mismatch_rejected():
+    with pytest.raises(DeviceError):
+        BlockRequest(op=IoOp.WRITE, offset=0, size=8, data=b"xy")
+
+
+def test_nvme_write_then_read_roundtrip():
+    env = Environment()
+    dev = make_device(env, "nvme")
+    payload = b"labstor!" * 512  # 4 KiB
+
+    def proc():
+        w = BlockRequest(op=IoOp.WRITE, offset=8192, size=4096, data=payload)
+        yield dev.submit(w)
+        r = BlockRequest(op=IoOp.READ, offset=8192, size=4096)
+        yield dev.submit(r)
+        return r.result
+
+    assert env.run(env.process(proc())) == payload
+
+
+def test_nvme_4k_write_latency_matches_profile():
+    env = Environment()
+    dev = make_device(env, "nvme")
+    expected = dev.profile.service_ns(IoOp.WRITE, 4096)
+
+    def proc():
+        req = _write_req(0, 4096)
+        yield dev.submit(req)
+        return req.latency_ns
+
+    assert env.run(env.process(proc())) == expected
+    # ~14us fixed + 4KiB/2GBps ~= 2us transfer
+    assert usec(15) < expected < usec(18)
+
+
+def test_nvme_parallel_queues_do_not_block_each_other():
+    env = Environment()
+    dev = make_device(env, "nvme", nqueues=2, parallelism=2)
+    lat = {}
+
+    def proc(hctx, n):
+        for i in range(n):
+            req = _write_req(i * 4096, 4096, hctx=hctx)
+            yield dev.submit(req)
+        lat[hctx] = env.now
+
+    env.process(proc(0, 4))
+    env.process(proc(1, 4))
+    env.run()
+    # Both streams finish at the same time: no cross-queue interference.
+    assert lat[0] == lat[1]
+
+
+def test_single_hctx_head_of_line_blocking():
+    """A small request behind a deep backlog on the same hctx waits far
+    longer than on an idle hctx (the Fig 8 effect): per-hctx dispatch is
+    FIFO and the backlog holds the scarce device channels."""
+    env = Environment()
+    dev = make_device(env, "nvme", nqueues=2, parallelism=2)
+    done = {}
+
+    def big_burst(hctx):
+        reqs = [_write_req(i * MiB, 1 * MiB, hctx=hctx) for i in range(8)]
+        events = [dev.submit(r) for r in reqs]
+        yield env.all_of(events)
+
+    def small(name, hctx):
+        yield env.timeout(1)  # arrive just after the burst queued
+        req = _write_req(64 * MiB, 4 * KiB, hctx=hctx)
+        yield dev.submit(req)
+        done[name] = req.latency_ns
+
+    env.process(big_burst(0))
+    env.process(small("same_queue", 0))
+    env.process(small("other_queue", 1))
+    env.run()
+    assert done["same_queue"] > done["other_queue"] * 3
+
+
+def test_hdd_sequential_much_faster_than_random():
+    env = Environment()
+    dev = make_device(env, "hdd")
+    totals = {}
+
+    def seq():
+        for i in range(16):
+            req = _write_req(i * 64 * KiB, 64 * KiB)
+            yield dev.submit(req)
+        totals["seq"] = env.now
+
+    env.process(seq())
+    env.run()
+
+    env2 = Environment()
+    dev2 = make_device(env2, "hdd")
+
+    def rand():
+        # full-stroke seek on every request
+        cap = dev2.profile.capacity_bytes
+        for i in range(16):
+            offset = 0 if i % 2 else cap - 64 * KiB
+            req = _write_req(offset, 64 * KiB)
+            yield dev2.submit(req)
+        totals["rand"] = env2.now
+
+    env2.process(rand())
+    env2.run()
+    assert totals["rand"] > totals["seq"] * 3
+
+
+def test_hdd_profile_constraints():
+    env = Environment()
+    with pytest.raises(ValueError):
+        make_device(env, "hdd", nqueues=4)
+
+
+def test_pmem_dax_roundtrip():
+    env = Environment()
+    dev = make_device(env, "pmem")
+
+    def proc():
+        yield env.process(dev.dax_store(4096, b"persist me"))
+        data = yield env.process(dev.dax_load(4096, 10))
+        return data
+
+    assert env.run(env.process(proc())) == b"persist me"
+
+
+def test_pmem_much_faster_than_nvme():
+    env = Environment()
+    pmem = make_device(env, "pmem")
+    nvme = make_device(env, "nvme")
+    assert pmem.profile.service_ns(IoOp.WRITE, 4096) * 10 < nvme.profile.service_ns(
+        IoOp.WRITE, 4096
+    )
+
+
+def test_nvme_poll_completions_drains_ring():
+    env = Environment()
+    dev = make_device(env, "nvme")
+
+    def proc():
+        req = _write_req(0, 4096, hctx=3)
+        dev.submit(req)
+        yield dev.cq_event(3)
+        return dev.poll_completions(3)
+
+    drained = env.run(env.process(proc()))
+    assert len(drained) == 1
+    assert drained[0].op is IoOp.WRITE
+    assert dev.poll_completions(3) == []
+
+
+def test_trim_zeroes_data():
+    env = Environment()
+    dev = make_device(env, "nvme")
+
+    def proc():
+        yield dev.submit(_write_req(0, 4096))
+        yield dev.submit(BlockRequest(op=IoOp.TRIM, offset=0, size=4096))
+        r = BlockRequest(op=IoOp.READ, offset=0, size=4096)
+        yield dev.submit(r)
+        return r.result
+
+    assert env.run(env.process(proc())) == b"\x00" * 4096
+
+
+def test_device_accounting_counters():
+    env = Environment()
+    dev = make_device(env, "ssd")
+
+    def proc():
+        yield dev.submit(_write_req(0, 8192))
+        r = BlockRequest(op=IoOp.READ, offset=0, size=4096)
+        yield dev.submit(r)
+
+    env.run(env.process(proc()))
+    assert dev.bytes_written == 8192
+    assert dev.bytes_read == 4096
+    assert dev.completed == 2
+
+
+def test_bad_hctx_rejected():
+    env = Environment()
+    dev = make_device(env, "nvme", nqueues=2)
+    with pytest.raises(DeviceError):
+        dev.submit(_write_req(0, 4096, hctx=5))
+
+
+def test_unknown_device_kind():
+    env = Environment()
+    with pytest.raises(ValueError, match="unknown device kind"):
+        make_device(env, "optane-tape")
+
+
+def test_profile_jitter_is_reproducible():
+    import numpy as np
+
+    prof = DeviceProfile(name="j", capacity_bytes=MiB, jitter=0.2, write_lat_ns=1000, write_bw=1e9)
+    rng_a = np.random.default_rng(7)
+    rng_b = np.random.default_rng(7)
+    a = [prof.service_ns(IoOp.WRITE, 4096, rng=rng_a) for _ in range(5)]
+    b = [prof.service_ns(IoOp.WRITE, 4096, rng=rng_b) for _ in range(5)]
+    assert a == b
+    assert len(set(a)) > 1

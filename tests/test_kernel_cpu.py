@@ -1,0 +1,129 @@
+"""Tests for repro.kernel.cpu (cores, pinning, utilization, cost model)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import CostModel, Cpu, DEFAULT_COST
+from repro.sim import Environment
+
+
+def test_cost_model_copy_scales_with_pages():
+    c = CostModel()
+    assert c.copy_ns(4096) == c.copy_per_page_ns
+    assert c.copy_ns(8192) == 2 * c.copy_per_page_ns
+    assert c.copy_ns(1) >= 100  # floor
+
+
+def test_cost_model_overrides():
+    c = DEFAULT_COST.with_overrides(syscall_ns=5000)
+    assert c.syscall_ns == 5000
+    assert DEFAULT_COST.syscall_ns != 5000  # frozen original untouched
+
+
+def test_cpu_consume_occupies_core():
+    env = Environment()
+    cpu = Cpu(env, ncores=1)
+    finish = []
+
+    def worker(name):
+        yield env.process(cpu.consume(0, 100))
+        finish.append((env.now, name))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert finish == [(100, "a"), (200, "b")]
+
+
+def test_cpu_different_cores_parallel():
+    env = Environment()
+    cpu = Cpu(env, ncores=2)
+    finish = []
+
+    def worker(core):
+        yield env.process(cpu.consume(core, 100))
+        finish.append(env.now)
+
+    env.process(worker(0))
+    env.process(worker(1))
+    env.run()
+    assert finish == [100, 100]
+
+
+def test_pin_reserves_distinct_cores():
+    env = Environment()
+    cpu = Cpu(env, ncores=3)
+    assert cpu.pin() == 0
+    assert cpu.pin() == 1
+    cpu.unpin(0)
+    assert cpu.pin() == 0
+
+
+def test_pin_specific_core_twice_rejected():
+    env = Environment()
+    cpu = Cpu(env, ncores=2)
+    cpu.pin(1)
+    with pytest.raises(KernelError):
+        cpu.pin(1)
+
+
+def test_pin_exhaustion():
+    env = Environment()
+    cpu = Cpu(env, ncores=1)
+    cpu.pin()
+    with pytest.raises(KernelError):
+        cpu.pin()
+
+
+def test_pick_core_avoids_pinned():
+    env = Environment()
+    cpu = Cpu(env, ncores=3)
+    cpu.pin(0)
+    picks = {cpu.pick_core() for _ in range(10)}
+    assert 0 not in picks
+    assert picks <= {1, 2}
+
+
+def test_utilization_accounting():
+    env = Environment()
+    cpu = Cpu(env, ncores=2)
+
+    def worker():
+        yield env.process(cpu.consume(0, 500))
+
+    def idle_clock():
+        yield env.timeout(1000)
+
+    env.process(worker())
+    env.process(idle_clock())
+    env.run()
+    # core0 busy 500/1000, core1 idle => average 25%
+    assert cpu.utilization(0) == pytest.approx(0.5)
+    assert cpu.utilization(1) == 0.0
+    assert cpu.utilization() == pytest.approx(0.25)
+    assert cpu.busy_cores() == pytest.approx(0.5)
+
+
+def test_reset_accounting_starts_fresh_window():
+    env = Environment()
+    cpu = Cpu(env, ncores=1)
+
+    def phase1():
+        yield env.process(cpu.consume(0, 100))
+
+    env.process(phase1())
+    env.run()
+    cpu.reset_accounting()
+
+    def phase2():
+        yield env.timeout(100)
+
+    env.process(phase2())
+    env.run()
+    assert cpu.utilization() == 0.0
+
+
+def test_zero_cores_rejected():
+    env = Environment()
+    with pytest.raises(KernelError):
+        Cpu(env, ncores=0)

@@ -1,0 +1,72 @@
+"""Unit tests for the kernel I/O interface cost models (Fig 6 baselines)."""
+
+import pytest
+
+from repro.devices import IoOp, make_device
+from repro.kernel import INTERFACES, make_interface
+from repro.sim import Environment
+
+
+def one_op_latency(name, device="nvme", size=4096, op=IoOp.WRITE):
+    env = Environment()
+    dev = make_device(env, device)
+    iface = make_interface(name, env, dev)
+
+    def proc():
+        data = b"i" * size if op is IoOp.WRITE else None
+        yield from iface.submit(op, 0, size, data)
+        return env.now
+
+    return env.run(env.process(proc()))
+
+
+def test_unknown_interface_rejected():
+    env = Environment()
+    dev = make_device(env, "nvme")
+    with pytest.raises(ValueError, match="unknown interface"):
+        make_interface("io_warp", env, dev)
+
+
+def test_all_interfaces_complete_an_op():
+    for name in INTERFACES:
+        assert one_op_latency(name) > 0
+
+
+def test_interface_ordering_on_nvme_4k():
+    """The software-overhead ordering behind Fig 6."""
+    lat = {name: one_op_latency(name) for name in INTERFACES}
+    assert lat["posix_aio"] > lat["posix"]          # thread-pool hops
+    assert lat["posix"] > lat["libaio"]             # blocking wait vs reap
+    assert lat["posix"] > lat["io_uring"]           # syscall-per-op vs rings
+    # all interfaces pay at least the raw device service time
+    env = Environment()
+    dev = make_device(env, "nvme")
+    device_only = dev.profile.service_ns(IoOp.WRITE, 4096)
+    assert min(lat.values()) > device_only
+
+
+def test_interface_gap_shrinks_with_size():
+    def spread(size):
+        lat = {n: one_op_latency(n, size=size) for n in ("posix", "io_uring")}
+        return lat["posix"] / lat["io_uring"] - 1
+
+    assert spread(128 * 1024) < spread(4096)
+
+
+def test_reads_return_written_data_through_interfaces():
+    env = Environment()
+    dev = make_device(env, "nvme")
+    iface = make_interface("libaio", env, dev)
+
+    def proc():
+        yield from iface.submit(IoOp.WRITE, 4096, 4096, b"q" * 4096)
+        req = yield from iface.submit(IoOp.READ, 4096, 4096)
+        return req.result
+
+    assert env.run(env.process(proc())) == b"q" * 4096
+    assert iface.completed_ops == 2
+
+
+def test_interfaces_work_on_every_device_kind():
+    for device in ("nvme", "ssd", "hdd", "pmem"):
+        assert one_op_latency("posix", device=device) > 0

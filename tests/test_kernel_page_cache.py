@@ -1,0 +1,189 @@
+"""Tests for the kernel page cache (LRU, dirty writeback, fill)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.page_cache import PAGE_SIZE, PageCache
+from repro.sim import Environment
+
+
+class FakeBacking:
+    """Backing 'device' recording writebacks and serving fills."""
+
+    def __init__(self, env):
+        self.env = env
+        self.pages = {}
+        self.writeback_log = []
+        self.fill_log = []
+
+    def writeback(self, file_id, page_no, data):
+        yield self.env.timeout(10)
+        self.pages[(file_id, page_no)] = data
+        self.writeback_log.append((file_id, page_no))
+
+    def fill(self, file_id, page_no):
+        yield self.env.timeout(10)
+        self.fill_log.append((file_id, page_no))
+        return self.pages.get((file_id, page_no), b"\x00" * PAGE_SIZE)
+
+
+def make_cache(env, capacity=8):
+    backing = FakeBacking(env)
+    cache = PageCache(env, capacity, writeback=backing.writeback, fill=backing.fill)
+    return cache, backing
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def test_write_then_read_hits_cache():
+    env = Environment()
+    cache, backing = make_cache(env)
+
+    def proc():
+        yield env.process(cache.write(1, 0, b"abc" * 100))
+        data = yield env.process(cache.read(1, 0, 300))
+        return data
+
+    assert run(env, proc()) == b"abc" * 100
+    # the sub-page write may RMW-fill once; the read itself must hit
+    fills_after_write = len(backing.fill_log)
+    assert fills_after_write <= 1
+    assert cache.hits >= 1
+
+
+def test_read_miss_fills_from_backing():
+    env = Environment()
+    cache, backing = make_cache(env)
+    backing.pages[(7, 0)] = b"\x42" * PAGE_SIZE
+
+    def proc():
+        data = yield env.process(cache.read(7, 0, 16))
+        return data
+
+    assert run(env, proc()) == b"\x42" * 16
+    assert backing.fill_log == [(7, 0)]
+    assert cache.misses == 1
+
+
+def test_eviction_writes_back_dirty_lru():
+    env = Environment()
+    cache, backing = make_cache(env, capacity=2)
+
+    def proc():
+        yield env.process(cache.write(1, 0 * PAGE_SIZE, b"a" * PAGE_SIZE))
+        yield env.process(cache.write(1, 1 * PAGE_SIZE, b"b" * PAGE_SIZE))
+        yield env.process(cache.write(1, 2 * PAGE_SIZE, b"c" * PAGE_SIZE))  # evicts page 0
+
+    run(env, proc())
+    assert backing.writeback_log == [(1, 0)]
+    assert backing.pages[(1, 0)] == b"a" * PAGE_SIZE
+    assert cache.evictions == 1
+    assert not cache.resident(1, 0)
+
+
+def test_evicted_page_readable_again():
+    env = Environment()
+    cache, backing = make_cache(env, capacity=2)
+
+    def proc():
+        yield env.process(cache.write(1, 0, b"x" * PAGE_SIZE))
+        yield env.process(cache.write(1, PAGE_SIZE, b"y" * PAGE_SIZE))
+        yield env.process(cache.write(1, 2 * PAGE_SIZE, b"z" * PAGE_SIZE))
+        data = yield env.process(cache.read(1, 0, PAGE_SIZE))  # must refill
+        return data
+
+    assert run(env, proc()) == b"x" * PAGE_SIZE
+
+
+def test_partial_overwrite_of_nonresident_page_rmw():
+    env = Environment()
+    cache, backing = make_cache(env)
+    backing.pages[(3, 0)] = b"\x11" * PAGE_SIZE
+
+    def proc():
+        yield env.process(cache.write(3, 100, b"\x22" * 10))
+        data = yield env.process(cache.read(3, 0, 120))
+        return data
+
+    data = run(env, proc())
+    assert data[:100] == b"\x11" * 100
+    assert data[100:110] == b"\x22" * 10
+    assert data[110:] == b"\x11" * 10
+    assert backing.fill_log == [(3, 0)]  # read-modify-write pulled the page
+
+
+def test_fsync_flushes_only_that_file():
+    env = Environment()
+    cache, backing = make_cache(env)
+
+    def proc():
+        yield env.process(cache.write(1, 0, b"a" * PAGE_SIZE))
+        yield env.process(cache.write(2, 0, b"b" * PAGE_SIZE))
+        yield env.process(cache.fsync(1))
+
+    run(env, proc())
+    assert backing.writeback_log == [(1, 0)]
+    assert cache.dirty_count() == 1  # file 2 still dirty
+
+
+def test_fsync_is_idempotent():
+    env = Environment()
+    cache, backing = make_cache(env)
+
+    def proc():
+        yield env.process(cache.write(1, 0, b"a" * 100))
+        yield env.process(cache.fsync(1))
+        yield env.process(cache.fsync(1))
+
+    run(env, proc())
+    assert backing.writeback_log == [(1, 0)]  # second fsync found nothing dirty
+
+
+def test_sync_all_flushes_everything():
+    env = Environment()
+    cache, backing = make_cache(env)
+
+    def proc():
+        yield env.process(cache.write(1, 0, b"a" * 10))
+        yield env.process(cache.write(2, 0, b"b" * 10))
+        yield env.process(cache.sync_all())
+
+    run(env, proc())
+    assert sorted(backing.writeback_log) == [(1, 0), (2, 0)]
+    assert cache.dirty_count() == 0
+
+
+def test_invalidate_drops_dirty_pages():
+    env = Environment()
+    cache, backing = make_cache(env)
+
+    def proc():
+        yield env.process(cache.write(9, 0, b"gone" * 10))
+
+    run(env, proc())
+    cache.invalidate(9)
+    assert len(cache) == 0
+    assert backing.writeback_log == []  # dirty data was discarded, not flushed
+
+
+def test_capacity_validation():
+    env = Environment()
+    with pytest.raises(KernelError):
+        PageCache(env, 0, writeback=None, fill=None)
+
+
+def test_lru_order_follows_access():
+    env = Environment()
+    cache, backing = make_cache(env, capacity=2)
+
+    def proc():
+        yield env.process(cache.write(1, 0, b"a" * PAGE_SIZE))            # page A
+        yield env.process(cache.write(1, PAGE_SIZE, b"b" * PAGE_SIZE))   # page B
+        yield env.process(cache.read(1, 0, 10))                          # touch A
+        yield env.process(cache.write(1, 2 * PAGE_SIZE, b"c" * PAGE_SIZE))  # evicts B
+
+    run(env, proc())
+    assert backing.writeback_log == [(1, 1)]
+    assert cache.resident(1, 0)

@@ -1,0 +1,140 @@
+"""Unit + property tests for LabFS's per-worker block allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfSpaceError
+from repro.mods.labfs.alloc import PerWorkerBlockAllocator
+
+
+def test_blocks_divided_evenly():
+    a = PerWorkerBlockAllocator(100, 4)
+    for w in range(4):
+        assert a.free_count(w) == 25
+
+
+def test_alloc_returns_unique_blocks():
+    a = PerWorkerBlockAllocator(64, 4)
+    blocks = [a.alloc(w % 4) for w in range(64)]
+    assert len(set(blocks)) == 64
+    assert a.free_count() == 0
+
+
+def test_base_block_offsets_all_allocations():
+    a = PerWorkerBlockAllocator(10, 2, base_block=100)
+    blocks = [a.alloc(0) for _ in range(5)]
+    assert all(b >= 100 for b in blocks)
+
+
+def test_free_and_realloc():
+    a = PerWorkerBlockAllocator(10, 1)
+    b = a.alloc(0)
+    a.free(b, 0)
+    assert a.alloc(0) == b  # freed block is reused first
+
+
+def test_double_free_rejected():
+    a = PerWorkerBlockAllocator(10, 1)
+    b = a.alloc(0)
+    a.free(b, 0)
+    with pytest.raises(OutOfSpaceError, match="double free"):
+        a.free(b, 0)
+
+
+def test_stealing_when_shard_dry():
+    a = PerWorkerBlockAllocator(40, 2, steal_blocks=4)
+    for _ in range(20):
+        a.alloc(0)
+    # shard 0 dry; next alloc steals from shard 1
+    b = a.alloc(0)
+    assert b is not None
+    assert a.steals == 1
+    assert a.free_count(1) < 20
+
+
+def test_exhaustion_raises():
+    a = PerWorkerBlockAllocator(4, 2)
+    for i in range(4):
+        a.alloc(i % 2)
+    with pytest.raises(OutOfSpaceError, match="no free blocks"):
+        a.alloc(0)
+
+
+def test_unknown_worker_hashes_onto_shard():
+    a = PerWorkerBlockAllocator(10, 2)
+    b = a.alloc(worker_id=99)  # not a known shard key
+    assert b is not None
+
+
+def test_add_worker_steals_from_everyone():
+    a = PerWorkerBlockAllocator(1000, 2, steal_blocks=100)
+    a.add_worker(7)
+    assert a.free_count(7) == 200  # 100 from each existing shard
+    assert a.free_count() == 1000
+
+
+def test_remove_worker_redistributes():
+    a = PerWorkerBlockAllocator(100, 4)
+    before = a.free_count()
+    a.remove_worker(3)
+    assert a.nworkers == 3
+    assert a.free_count() == before  # no blocks lost
+
+
+def test_remove_last_worker_keeps_blocks():
+    a = PerWorkerBlockAllocator(10, 1)
+    a.remove_worker(0)
+    assert a.free_count() == 10
+    assert a.alloc(0) is not None
+
+
+def test_invalid_construction():
+    with pytest.raises(OutOfSpaceError):
+        PerWorkerBlockAllocator(0, 1)
+    with pytest.raises(OutOfSpaceError):
+        PerWorkerBlockAllocator(10, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    nblocks=st.integers(8, 200),
+    nworkers=st.integers(1, 8),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 7)), min_size=1, max_size=100
+    ),
+)
+def test_property_no_double_allocation_and_conservation(nblocks, nworkers, ops):
+    """Invariants: a block is never handed out twice while allocated, and
+    allocated + free == total at all times."""
+    a = PerWorkerBlockAllocator(nblocks, nworkers)
+    held: list[int] = []
+    for kind, w in ops:
+        if kind == "alloc":
+            try:
+                b = a.alloc(w)
+            except OutOfSpaceError:
+                assert a.free_count() == 0
+                continue
+            assert b not in held
+            held.append(b)
+        elif held:
+            a.free(held.pop(), w)
+        assert a.allocated_count() + a.free_count() == nblocks
+        assert a.allocated_count() == len(held)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    resizes=st.lists(st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 9)),
+                     min_size=1, max_size=12)
+)
+def test_property_resizing_conserves_blocks(resizes):
+    a = PerWorkerBlockAllocator(500, 4, steal_blocks=16)
+    total = a.free_count()
+    for kind, w in resizes:
+        if kind == "add":
+            a.add_worker(100 + w)
+        else:
+            a.remove_worker(w)
+        assert a.free_count() == total

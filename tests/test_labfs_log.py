@@ -1,0 +1,105 @@
+"""Tests for the LabFS metadata log and replay."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mods.labfs import log as mdlog
+from repro.mods.labfs.log import MetadataLog, replay
+
+
+def test_replay_create_and_size():
+    log = MetadataLog()
+    log.append(0, mdlog.CREATE, 1, "/a")
+    log.append(0, mdlog.SET_SIZE, 1, 4096)
+    table = replay(log)
+    assert table == {1: {"path": "/a", "size": 4096, "blocks": {}, "dir": False}}
+
+
+def test_replay_unlink_removes():
+    log = MetadataLog()
+    log.append(0, mdlog.CREATE, 1, "/a")
+    log.append(0, mdlog.UNLINK, 1)
+    assert replay(log) == {}
+
+
+def test_replay_rename():
+    log = MetadataLog()
+    log.append(0, mdlog.CREATE, 1, "/old")
+    log.append(1, mdlog.RENAME, 1, "/new")
+    assert replay(log)[1]["path"] == "/new"
+
+
+def test_replay_block_mapping():
+    log = MetadataLog()
+    log.append(0, mdlog.CREATE, 5, "/f")
+    log.append(0, mdlog.MAP_BLOCK, 5, 0, 8192)
+    log.append(1, mdlog.MAP_BLOCK, 5, 1, 12288)
+    assert replay(log)[5]["blocks"] == {0: 8192, 1: 12288}
+
+
+def test_per_worker_logs_merge_in_global_order():
+    """Records interleave by global sequence, not per-worker order."""
+    log = MetadataLog()
+    log.append(0, mdlog.CREATE, 1, "/a")
+    log.append(1, mdlog.RENAME, 1, "/b")   # later seq, different worker
+    log.append(0, mdlog.RENAME, 1, "/c")   # even later, worker 0
+    assert replay(log)[1]["path"] == "/c"
+    assert log.worker_ids() == [0, 1]
+
+
+def test_records_for_unknown_inode_ignored():
+    log = MetadataLog()
+    log.append(0, mdlog.SET_SIZE, 42, 100)
+    log.append(0, mdlog.MAP_BLOCK, 42, 0, 4096)
+    log.append(0, mdlog.RENAME, 42, "/x")
+    assert replay(log) == {}
+
+
+def test_compact_drops_dead_records():
+    log = MetadataLog()
+    log.append(0, mdlog.CREATE, 1, "/a")
+    log.append(0, mdlog.CREATE, 2, "/b")
+    log.append(0, mdlog.UNLINK, 2)
+    dropped = log.compact(live_inos={1})
+    assert dropped == 2
+    assert replay(log) == {1: {"path": "/a", "size": 0, "blocks": {}, "dir": False}}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["create", "unlink", "set_size", "map"]),
+            st.integers(1, 5),      # ino
+            st.integers(0, 3),      # worker
+            st.integers(0, 10_000),  # arg
+        ),
+        max_size=60,
+    )
+)
+def test_property_replay_matches_direct_state_machine(ops):
+    """Replaying the log always equals applying the ops to a dict directly."""
+    log = MetadataLog()
+    model: dict[int, dict] = {}
+    for kind, ino, worker, arg in ops:
+        if kind == "create":
+            if ino in model:
+                continue  # FS would reject; log only legal ops
+            log.append(worker, mdlog.CREATE, ino, f"/f{ino}")
+            model[ino] = {"path": f"/f{ino}", "size": 0, "blocks": {}, "dir": False}
+        elif kind == "unlink":
+            if ino not in model:
+                continue
+            log.append(worker, mdlog.UNLINK, ino)
+            del model[ino]
+        elif kind == "set_size":
+            if ino not in model:
+                continue
+            log.append(worker, mdlog.SET_SIZE, ino, arg)
+            model[ino]["size"] = arg
+        else:
+            if ino not in model:
+                continue
+            log.append(worker, mdlog.MAP_BLOCK, ino, arg % 8, arg * 4096)
+            model[ino]["blocks"][arg % 8] = arg * 4096
+    assert replay(log) == model

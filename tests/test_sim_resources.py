@@ -1,0 +1,226 @@
+"""Unit tests for repro.sim.resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Environment, FilterStore, PriorityResource, Resource, Store
+
+
+def test_resource_mutual_exclusion():
+    env = Environment()
+    lock = Resource(env, capacity=1)
+    log = []
+
+    def proc(name, hold):
+        with lock.request() as req:
+            yield req
+            log.append((env.now, name, "acq"))
+            yield env.timeout(hold)
+        log.append((env.now, name, "rel"))
+
+    env.process(proc("a", 10))
+    env.process(proc("b", 5))
+    env.run()
+    assert log == [(0, "a", "acq"), (10, "a", "rel"), (10, "b", "acq"), (15, "b", "rel")]
+
+
+def test_resource_capacity_n_parallel_grants():
+    env = Environment()
+    pool = Resource(env, capacity=3)
+    acquired_at = []
+
+    def proc():
+        with pool.request() as req:
+            yield req
+            acquired_at.append(env.now)
+            yield env.timeout(100)
+
+    for _ in range(6):
+        env.process(proc())
+    env.run()
+    assert acquired_at == [0, 0, 0, 100, 100, 100]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    lock = Resource(env, capacity=1)
+    order = []
+
+    def proc(name, start):
+        yield env.timeout(start)
+        with lock.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+
+    env.process(proc("first", 1))
+    env.process(proc("second", 2))
+    env.process(proc("third", 3))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    lock = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with lock.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def proc(name, prio):
+        yield env.timeout(1)
+        with lock.request(priority=prio) as req:
+            yield req
+            order.append(name)
+
+    env.process(holder())
+    env.process(proc("low", 5))
+    env.process(proc("high", 0))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_busy_time_accounting():
+    env = Environment()
+    lock = Resource(env, capacity=2)
+
+    def proc(hold):
+        with lock.request() as req:
+            yield req
+            yield env.timeout(hold)
+
+    env.process(proc(100))
+    env.process(proc(40))
+    env.run()
+    assert lock.busy_time() == 140
+
+
+def test_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield env.timeout(10)
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [(10, 0), (20, 1), (30, 2)]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    result = []
+
+    def consumer():
+        item = yield store.get()
+        result.append((env.now, item))
+
+    def producer():
+        yield env.timeout(77)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert result == [(77, "x")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(env.now)
+        yield store.put("b")  # blocks until 'a' is consumed
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(50)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [0, 50]
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put("item")
+    env.run()
+    assert store.try_get() == "item"
+    assert store.try_get() is None
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer():
+        yield env.timeout(1)
+        yield store.put(1)
+        yield env.timeout(1)
+        yield store.put(4)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [4]
+    assert list(store.items) == [1]
+
+
+def test_container_get_blocks_until_level():
+    env = Environment()
+    tank = Container(env, init=0)
+    done = []
+
+    def consumer():
+        yield tank.get(10)
+        done.append(env.now)
+
+    def producer():
+        yield env.timeout(5)
+        tank.put(4)
+        yield env.timeout(5)
+        tank.put(6)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert done == [10]
+    assert tank.level == 0
+
+
+def test_container_capacity_clamps():
+    env = Environment()
+    tank = Container(env, init=0, capacity=10)
+    tank.put(100)
+    assert tank.level == 10

@@ -1,0 +1,173 @@
+"""Tests for repro.sim.stats, rng and trace."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Counter,
+    Histogram,
+    LatencyRecorder,
+    OnlineStats,
+    RngRegistry,
+    SpanAccumulator,
+    Tracer,
+    percentile,
+)
+
+
+# --- OnlineStats -----------------------------------------------------------
+def test_online_stats_mean_var_minmax():
+    s = OnlineStats()
+    for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+        s.add(x)
+    assert s.mean == pytest.approx(5.0)
+    assert s.stdev == pytest.approx(np.std([2, 4, 4, 4, 5, 5, 7, 9], ddof=1))
+    assert s.min == 2.0 and s.max == 9.0
+
+
+def test_online_stats_empty():
+    s = OnlineStats()
+    assert s.mean == 0.0
+    assert s.variance == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+    b=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+)
+def test_property_merge_equals_combined(a, b):
+    sa, sb, sc = OnlineStats(), OnlineStats(), OnlineStats()
+    for x in a:
+        sa.add(x)
+        sc.add(x)
+    for x in b:
+        sb.add(x)
+        sc.add(x)
+    sa.merge(sb)
+    assert sa.n == sc.n
+    assert sa.mean == pytest.approx(sc.mean, rel=1e-6, abs=1e-6)
+    assert sa.variance == pytest.approx(sc.variance, rel=1e-5, abs=1e-4)
+
+
+def test_merge_with_empty():
+    a, b = OnlineStats(), OnlineStats()
+    a.add(5.0)
+    a.merge(b)
+    assert a.n == 1
+    b.merge(a)
+    assert b.mean == 5.0
+
+
+# --- LatencyRecorder ----------------------------------------------------------
+def test_latency_recorder_exact_percentiles():
+    r = LatencyRecorder()
+    for x in range(1, 101):
+        r.add(float(x))
+    assert r.p50 == pytest.approx(50.5)
+    assert r.p99 == pytest.approx(99.01)
+    assert r.mean == pytest.approx(50.5)
+
+
+def test_latency_recorder_reservoir_bounds_memory():
+    r = LatencyRecorder(reservoir=100)
+    for x in range(10_000):
+        r.add(float(x))
+    assert len(r._samples) == 100
+    assert r.count == 10_000
+    # reservoir keeps the percentile roughly unbiased
+    assert 3000 < r.p50 < 7000
+
+
+def test_latency_recorder_empty_summary():
+    assert LatencyRecorder().summary()["count"] == 0
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+# --- Histogram -------------------------------------------------------------
+def test_histogram_quantiles_log_buckets():
+    h = Histogram(min_ns=1, max_ns=10**9)
+    for v in [10, 100, 1000, 10_000]:
+        h.add(v)
+    assert h.total == 4
+    q = h.quantile(0.5)
+    assert 64 <= q <= 256  # bucket upper bound around the median
+
+
+def test_histogram_empty_quantile_raises():
+    with pytest.raises(ValueError):
+        Histogram().quantile(0.5)
+
+
+def test_histogram_clamps_out_of_range():
+    h = Histogram(min_ns=10, max_ns=1000)
+    h.add(1)       # below min
+    h.add(10**9)   # above max
+    assert h.total == 2
+
+
+# --- Counter ---------------------------------------------------------------
+def test_counter_inc_and_get():
+    c = Counter()
+    c.inc("ops")
+    c.inc("ops", 5)
+    assert c["ops"] == 6
+    assert c["missing"] == 0
+    assert c.asdict() == {"ops": 6}
+
+
+# --- RngRegistry --------------------------------------------------------------
+def test_named_streams_are_stable_and_independent():
+    r = RngRegistry(seed=7)
+    a1 = r.stream("device.nvme").integers(0, 1000, 5).tolist()
+    b1 = r.stream("workload.fio").integers(0, 1000, 5).tolist()
+    r2 = RngRegistry(seed=7)
+    b2 = r2.stream("workload.fio").integers(0, 1000, 5).tolist()
+    a2 = r2.stream("device.nvme").integers(0, 1000, 5).tolist()
+    # same names -> same draws regardless of creation order
+    assert a1 == a2 and b1 == b2
+    assert a1 != b1
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").integers(0, 10**9)
+    b = RngRegistry(seed=2).stream("x").integers(0, 10**9)
+    assert a != b
+
+
+def test_spawn_subregistry_independent():
+    root = RngRegistry(seed=3)
+    child = root.spawn("pfs")
+    assert child.stream("x").integers(0, 10**9) != root.stream("x").integers(0, 10**9)
+
+
+# --- Tracer / SpanAccumulator ----------------------------------------------------
+def test_tracer_disabled_by_default_costs_nothing():
+    t = Tracer()
+    t.emit(0, "span", name="x", dur_ns=5)
+    assert t.events == []
+
+
+def test_span_accumulator_sums_durations():
+    t = Tracer()
+    acc = SpanAccumulator()
+    t.add_sink(acc)
+    t.emit(0, "span", name="io", dur_ns=10)
+    t.emit(5, "span", name="io", dur_ns=30)
+    t.emit(9, "span", name="cpu", dur_ns=60)
+    t.emit(9, "other", name="ignored")
+    assert acc.totals == {"io": 40, "cpu": 60}
+    assert acc.counts == {"io": 2, "cpu": 1}
+    assert acc.fractions() == {"cpu": 0.6, "io": 0.4}
+
+
+def test_span_accumulator_empty_fractions():
+    assert SpanAccumulator().fractions() == {}

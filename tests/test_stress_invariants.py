@@ -1,0 +1,185 @@
+"""Stress and property tests on cross-module invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicPolicy, LabRequest, RoundRobinPolicy, RuntimeConfig, WorkOrchestrator
+from repro.ipc import Completion, QueuePair
+from repro.kernel import Cpu
+from repro.mods.generic_fs import GenericFS
+from repro.mods.generic_kvs import GenericKVS
+from repro.sim import Environment
+from repro.system import LabStorSystem
+from repro.units import msec
+
+
+# --- orchestrator never loses or duplicates queues -----------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.sampled_from(["register", "unregister", "spawn", "retire", "rebalance"]),
+        min_size=1,
+        max_size=30,
+    ),
+    policy=st.sampled_from(["rr", "dynamic"]),
+)
+def test_property_rebalance_conserves_queues(ops, policy):
+    env = Environment()
+    cpu = Cpu(env, ncores=24)
+
+    def executor(req, x):
+        yield x.env.timeout(10)
+
+    pol = RoundRobinPolicy() if policy == "rr" else DynamicPolicy()
+    orch = WorkOrchestrator(env, cpu, executor, policy=pol, nworkers=2, max_workers=8)
+    pool = [QueuePair(env) for _ in range(12)]
+    registered: list = []
+    for op in ops:
+        if op == "register" and len(registered) < len(pool):
+            qp = pool[len(registered)]
+            registered.append(qp)
+            orch.register_queue(qp)
+        elif op == "unregister" and registered:
+            orch.unregister_queue(registered.pop())
+        elif op == "spawn" and orch.worker_count() < 8:
+            orch.spawn_worker()
+            orch.rebalance()
+        elif op == "retire" and orch.worker_count() > 1:
+            orch.decommission_worker(orch.workers[-1])
+            orch.rebalance()
+        else:
+            orch.rebalance()
+        # invariant: every registered queue is assigned to exactly one worker
+        assigned = [q for w in orch.workers for q in w.assigned_qids()]
+        assert sorted(assigned) == sorted(q.qid for q in registered)
+
+
+# --- queue pair submission/completion conservation -------------------------------
+@settings(max_examples=30, deadline=None)
+@given(nreqs=st.integers(1, 40), workers=st.integers(1, 4))
+def test_property_qp_conserves_requests(nreqs, workers):
+    env = Environment()
+    qp = QueuePair(env, ordered=False, pop_cost_ns=10)
+    served = []
+
+    def worker():
+        while True:
+            req = yield env.process(qp.pop_request())
+            served.append(req)
+            qp.complete(Completion(req))
+
+    for _ in range(workers):
+        env.process(worker())
+    for i in range(nreqs):
+        qp.submit(i)
+    env.run(until=msec(10))
+    assert sorted(served) == list(range(nreqs))
+    assert qp.inflight == 0
+    assert qp.submitted_total == qp.completed_total == nreqs
+
+
+# --- concurrent LabFS writers never corrupt each other -----------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    nthreads=st.integers(2, 5),
+    writes=st.integers(2, 6),
+    seed=st.integers(0, 100),
+)
+def test_property_concurrent_writers_isolated(nthreads, writes, seed):
+    sys_ = LabStorSystem(seed=seed, devices=("nvme",),
+                         config=RuntimeConfig(nworkers=4))
+    sys_.mount_fs_stack("fs::/p", variant="min")
+    results = {}
+
+    def writer(tid):
+        gfs = GenericFS(sys_.client())
+        fd = yield from gfs.open(f"fs::/p/file{tid}", create=True)
+        for i in range(writes):
+            yield from gfs.write(fd, bytes([tid]) * 3000, offset=i * 3000)
+        data = yield from gfs.read(fd, writes * 3000, offset=0)
+        results[tid] = data
+
+    procs = [sys_.process(writer(t)) for t in range(nthreads)]
+    sys_.run(sys_.env.all_of(procs))
+    for tid, data in results.items():
+        assert data == bytes([tid]) * (writes * 3000)
+
+
+def test_mixed_fs_and_kvs_traffic_shares_runtime():
+    """FS and KVS stacks multiplex through the same Runtime and workers."""
+    sys_ = LabStorSystem(devices=("nvme",), config=RuntimeConfig(nworkers=2))
+    sys_.mount_fs_stack("fs::/m", variant="min")
+    sys_.mount_kvs_stack("kvs::/m", variant="min")
+    gfs = GenericFS(sys_.client())
+    kvs = GenericKVS(sys_.client(), "kvs::/m")
+    out = {}
+
+    def fs_app():
+        yield from gfs.write_file("fs::/m/doc", b"fs-bytes" * 500)
+        out["fs"] = yield from gfs.read_file("fs::/m/doc")
+
+    def kvs_app():
+        yield from kvs.put("k", b"kvs-bytes" * 500)
+        out["kvs"] = yield from kvs.get("k")
+
+    sys_.run(sys_.env.all_of([sys_.process(fs_app()), sys_.process(kvs_app())]))
+    assert out["fs"] == b"fs-bytes" * 500
+    assert out["kvs"] == b"kvs-bytes" * 500
+
+
+def test_upgrade_storm_under_traffic():
+    """Many queued upgrades while requests flow: nothing lost, all applied."""
+    from repro.core import StackSpec, UpgradeRequest
+    from repro.mods.dummy import DummyMod, DummyModV2
+
+    sys_ = LabStorSystem(devices=("nvme",),
+                         config=RuntimeConfig(admin_poll_ns=msec(0.5)))
+    stack = sys_.runtime.mount_stack(StackSpec.linear("msg::/d", [("DummyMod", "storm")]))
+    client = sys_.client()
+    replies = []
+
+    def traffic():
+        for i in range(60):
+            r = yield from client.call(stack, LabRequest(op="msg.send", payload={"value": i}))
+            replies.append(r["echo"])
+            yield sys_.env.timeout(msec(1))
+
+    def storm():
+        for _ in range(6):
+            sys_.runtime.modify_mods(UpgradeRequest(mod_name="DummyMod", new_cls=DummyModV2))
+            yield sys_.env.timeout(msec(4))
+
+    p = sys_.process(traffic())
+    sys_.process(storm())
+    sys_.run(p)
+    assert replies == list(range(60))
+    assert sys_.runtime.module_manager.upgrades_done == 6
+    assert sys_.runtime.registry.get("storm").messages == 60
+
+
+def test_crash_during_upgrade_storm_recovers():
+    from repro.core import StackSpec
+    from repro.mods.dummy import DummyMod
+
+    sys_ = LabStorSystem(devices=("nvme",), config=RuntimeConfig(restart_wait_ns=msec(5)))
+    stack = sys_.runtime.mount_stack(StackSpec.linear("msg::/c", [("DummyMod", "crashy")]))
+    client = sys_.client()
+    got = []
+
+    def traffic():
+        for i in range(10):
+            r = yield from client.call(stack, LabRequest(op="msg.send", payload={"value": i}))
+            got.append(r["echo"])
+
+    def chaos():
+        yield sys_.env.timeout(5_000)
+        sys_.runtime.crash()
+        yield sys_.env.timeout(msec(8))
+        yield sys_.env.process(sys_.runtime.restart())
+
+    p = sys_.process(traffic())
+    sys_.process(chaos())
+    sys_.run(p)
+    assert got == list(range(10))
+    assert sys_.runtime.crashes == 1

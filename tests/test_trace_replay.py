@@ -1,0 +1,132 @@
+"""Tests for trace record/replay (repro.workloads.replay)."""
+
+import pytest
+
+from repro.devices import make_device
+from repro.kernel import make_filesystem
+from repro.mods.generic_fs import GenericFS
+from repro.sim import Environment
+from repro.system import LabStorSystem
+from repro.workloads import GenericFsAdapter, KernelFsAdapter
+from repro.workloads.replay import (
+    RecordingApi,
+    TraceOp,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+
+
+def _record_sample(env, api):
+    rec = RecordingApi(api, tid=0)
+
+    def proc():
+        fd = yield from rec.open("/app/data.bin", create=True)
+        yield from rec.write(fd, b"d" * 8192, offset=0)
+        yield from rec.fsync(fd)
+        got = yield from rec.read(fd, 4096, offset=0)
+        assert len(got) == 4096
+        yield from rec.close(fd)
+        yield from rec.stat("/app/data.bin")
+        yield from rec.unlink("/app/data.bin")
+
+    env.run(env.process(proc()))
+    return rec.ops
+
+
+def test_recording_captures_all_ops():
+    env = Environment()
+    api = KernelFsAdapter(make_filesystem("ext4", env, make_device(env, "nvme")))
+    ops = _record_sample(env, api)
+    assert [op.kind for op in ops] == [
+        "open", "write", "fsync", "read", "close", "stat", "unlink",
+    ]
+    assert ops[1].size == 8192
+
+
+def test_trace_serialization_roundtrip():
+    env = Environment()
+    api = KernelFsAdapter(make_filesystem("ext4", env, make_device(env, "nvme")))
+    ops = _record_sample(env, api)
+    text = save_trace(ops)
+    assert load_trace(text) == ops
+
+
+def test_replay_on_fresh_kernel_fs():
+    env = Environment()
+    api = KernelFsAdapter(make_filesystem("ext4", env, make_device(env, "nvme")))
+    ops = _record_sample(env, api)
+
+    env2 = Environment()
+    api2 = KernelFsAdapter(make_filesystem("xfs", env2, make_device(env2, "nvme")))
+    result = replay_trace(env2, lambda tid: api2, ops)
+    assert result.ops == len(ops)
+    assert result.errors == 0
+    assert result.ops_per_sec > 0
+
+
+def test_record_on_kernel_replay_on_labstor():
+    """Traces are portable across stacks — the adoption workflow."""
+    env = Environment()
+    api = KernelFsAdapter(make_filesystem("ext4", env, make_device(env, "nvme")))
+    ops = _record_sample(env, api)
+
+    sys_ = LabStorSystem(devices=("nvme",))
+    sys_.mount_fs_stack("fs::/r", variant="min")
+    lab_api = GenericFsAdapter(GenericFS(sys_.client()), "fs::/r")
+    result = replay_trace(sys_.env, lambda tid: lab_api, ops)
+    assert result.ops == len(ops)
+    assert result.latency.count == len(ops)
+
+
+def test_replay_preserves_per_tid_order_across_threads():
+    """Two tids replay concurrently, each preserving its own order."""
+    ops = []
+    for tid in (0, 1):
+        ops += [
+            TraceOp(kind="open", tid=tid, path=f"/f{tid}", handle=0, create=True),
+            TraceOp(kind="write", tid=tid, handle=0, offset=0, size=4096),
+            TraceOp(kind="read", tid=tid, handle=0, offset=0, size=4096),
+            TraceOp(kind="close", tid=tid, handle=0),
+        ]
+    sys_ = LabStorSystem(devices=("nvme",))
+    sys_.mount_fs_stack("fs::/m", variant="min")
+    apis = {}
+
+    def factory(tid):
+        if tid not in apis:
+            apis[tid] = GenericFsAdapter(GenericFS(sys_.client()), "fs::/m")
+        return apis[tid]
+
+    result = replay_trace(sys_.env, factory, ops)
+    assert result.ops == 8
+
+
+def test_replay_strict_raises_on_missing_file():
+    ops = [TraceOp(kind="open", tid=0, path="/ghost", handle=0, create=False)]
+    env = Environment()
+    api = KernelFsAdapter(make_filesystem("ext4", env, make_device(env, "nvme")))
+    from repro.errors import FsError
+
+    with pytest.raises(FsError):
+        replay_trace(env, lambda tid: api, ops)
+
+
+def test_replay_lenient_counts_errors():
+    ops = [
+        TraceOp(kind="open", tid=0, path="/ghost", handle=0, create=False),
+        TraceOp(kind="open", tid=0, path="/ok", handle=1, create=True),
+        TraceOp(kind="close", tid=0, handle=1),
+    ]
+    env = Environment()
+    api = KernelFsAdapter(make_filesystem("ext4", env, make_device(env, "nvme")))
+    result = replay_trace(env, lambda tid: api, ops, strict=False)
+    assert result.errors == 1
+    assert result.ops == 2
+
+
+def test_replay_unknown_kind_rejected():
+    env = Environment()
+    api = KernelFsAdapter(make_filesystem("ext4", env, make_device(env, "nvme")))
+    with pytest.raises(ValueError, match="unknown trace op"):
+        replay_trace(env, lambda tid: api, [TraceOp(kind="teleport")], strict=False)

@@ -1,0 +1,47 @@
+"""Tests for repro.units."""
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_size,
+    fmt_time,
+    gib,
+    kib,
+    mib,
+    msec,
+    sec,
+    to_msec,
+    to_sec,
+    to_usec,
+    usec,
+)
+
+
+def test_time_conversions_roundtrip():
+    assert usec(1.5) == 1500
+    assert msec(2) == 2_000_000
+    assert sec(0.001) == 1_000_000
+    assert to_usec(1500) == 1.5
+    assert to_msec(2_000_000) == 2.0
+    assert to_sec(10**9) == 1.0
+
+
+def test_size_helpers():
+    assert kib(4) == 4 * KiB == 4096
+    assert mib(1) == MiB
+    assert gib(2) == 2 * GiB
+
+
+def test_fmt_size():
+    assert fmt_size(512) == "512B"
+    assert fmt_size(4096) == "4.0KiB"
+    assert fmt_size(3 * MiB) == "3.0MiB"
+    assert fmt_size(5 * GiB) == "5.0GiB"
+
+
+def test_fmt_time():
+    assert fmt_time(500) == "500ns"
+    assert fmt_time(1500) == "1.50us"
+    assert fmt_time(2_500_000) == "2.50ms"
+    assert fmt_time(3 * 10**9) == "3.000s"

@@ -1,0 +1,199 @@
+"""Tests for the zoned-namespace device and its Driver LabMod."""
+
+import pytest
+
+from repro.core import LabRequest, StackSpec
+from repro.core.labmod import ExecContext, ModContext
+from repro.devices import BlockRequest, IoOp, ZoneState, make_device
+from repro.errors import DeviceError, LabStorError
+from repro.kernel import DEFAULT_COST
+from repro.mods.zns_driver import ZnsDriverMod
+from repro.sim import Environment, Tracer
+from repro.system import LabStorSystem
+from repro.units import MiB
+
+
+def make_zns(env, **kw):
+    return make_device(env, "zns", **kw)
+
+
+def run1(env, gen):
+    return env.run(env.process(gen))
+
+
+# --- device semantics -------------------------------------------------------
+def test_zone_append_assigns_sequential_offsets():
+    env = Environment()
+    dev = make_zns(env)
+
+    def proc():
+        o1 = yield env.process(dev.zone_append(0, b"a" * 4096))
+        o2 = yield env.process(dev.zone_append(0, b"b" * 4096))
+        return o1, o2
+
+    o1, o2 = run1(env, proc())
+    assert o1 == 0
+    assert o2 == 4096
+    assert dev.zones[0].state is ZoneState.OPEN
+    assert dev.zones[0].wp == 8192
+
+
+def test_append_data_readable():
+    env = Environment()
+    dev = make_zns(env)
+
+    def proc():
+        off = yield env.process(dev.zone_append(3, b"zoned data!" * 100))
+        req = BlockRequest(op=IoOp.READ, offset=off, size=1100)
+        yield dev.submit(req)
+        return req.result
+
+    assert run1(env, proc()) == b"zoned data!" * 100
+
+
+def test_write_not_at_wp_rejected():
+    env = Environment()
+    dev = make_zns(env)
+    with pytest.raises(DeviceError, match="write pointer"):
+        dev.submit(BlockRequest(op=IoOp.WRITE, offset=8192, size=4096, data=b"x" * 4096))
+
+
+def test_overwrite_below_wp_rejected():
+    env = Environment()
+    dev = make_zns(env)
+
+    def proc():
+        yield env.process(dev.zone_append(0, b"a" * 8192))
+        with pytest.raises(DeviceError, match="overwrite below"):
+            dev.submit(BlockRequest(op=IoOp.WRITE, offset=0, size=4096, data=b"y" * 4096))
+        return True
+
+    assert run1(env, proc())
+
+
+def test_sequential_block_writes_at_wp_allowed():
+    """A well-behaved log-structured stack can use plain writes at the wp."""
+    env = Environment()
+    dev = make_zns(env)
+
+    def proc():
+        for i in range(3):
+            req = BlockRequest(op=IoOp.WRITE, offset=i * 4096, size=4096, data=b"s" * 4096)
+            yield dev.submit(req)
+        return dev.zones[0].wp
+
+    assert run1(env, proc()) == 3 * 4096
+
+
+def test_zone_fills_and_rejects_overflow():
+    env = Environment()
+    dev = make_zns(env, capacity_bytes=32 * MiB)  # 2 zones of 16MiB
+    zone_size = dev.zone_size
+
+    def proc():
+        yield env.process(dev.zone_append(0, b"f" * zone_size))
+        assert dev.zones[0].state is ZoneState.FULL
+        with pytest.raises(DeviceError, match="FULL"):
+            next(dev.zone_append(0, b"x"))
+        return True
+
+    assert run1(env, proc())
+
+
+def test_zone_reset_rewinds_and_discards():
+    env = Environment()
+    dev = make_zns(env)
+
+    def proc():
+        off = yield env.process(dev.zone_append(1, b"d" * 4096))
+        yield env.process(dev.zone_reset(1))
+        assert dev.zones[1].state is ZoneState.EMPTY
+        assert dev.zones[1].wp == dev.zones[1].start
+        req = BlockRequest(op=IoOp.READ, offset=off, size=4096)
+        yield dev.submit(req)
+        return req.result
+
+    assert run1(env, proc()) == b"\x00" * 4096  # data gone after reset
+
+
+def test_capacity_must_align_to_zones():
+    env = Environment()
+    with pytest.raises(DeviceError, match="multiple of the zone size"):
+        make_zns(env, capacity_bytes=10 * MiB)  # not a multiple of 16MiB
+
+
+# --- driver LabMod --------------------------------------------------------
+def _driver(env, dev):
+    ctx = ModContext(env, DEFAULT_COST, Tracer(), {"zns": dev})
+    return ZnsDriverMod("z0", ctx)
+
+
+def test_zns_driver_append_and_read():
+    env = Environment()
+    dev = make_zns(env)
+    drv = _driver(env, dev)
+    x = ExecContext(env, Tracer())
+
+    def proc():
+        off = yield from drv.handle(
+            LabRequest(op="blk.append", payload={"zone": 2, "data": b"log entry " * 50}), x
+        )
+        data = yield from drv.handle(
+            LabRequest(op="blk.read", payload={"offset": off, "size": 500}), x
+        )
+        return off, data
+
+    off, data = run1(env, proc())
+    assert off == 2 * dev.zone_size
+    assert data == b"log entry " * 50
+
+
+def test_zns_driver_reset():
+    env = Environment()
+    dev = make_zns(env)
+    drv = _driver(env, dev)
+    x = ExecContext(env, Tracer())
+
+    def proc():
+        yield from drv.handle(
+            LabRequest(op="blk.append", payload={"zone": 0, "data": b"x" * 4096}), x
+        )
+        yield from drv.handle(LabRequest(op="blk.reset_zone", payload={"zone": 0}), x)
+        return dev.zones[0].state
+
+    assert run1(env, proc()) is ZoneState.EMPTY
+    assert dev.resets == 1
+
+
+def test_zns_driver_requires_zns_device():
+    env = Environment()
+    nvme = make_device(env, "nvme")
+    ctx = ModContext(env, DEFAULT_COST, Tracer(), {"nvme": nvme})
+    with pytest.raises(LabStorError):
+        ZnsDriverMod("z1", ctx)
+
+
+def test_zns_driver_in_a_mounted_stack():
+    """An append-only stack over ZNS through the full Runtime."""
+    sys_ = LabStorSystem(devices=("zns",))
+    spec = StackSpec.linear("blk::/zlog", [("ZnsDriverMod", "zlog.drv")])
+    spec.nodes[0].attrs = {"device": "zns"}
+    stack = sys_.runtime.mount_stack(spec)
+    client = sys_.client()
+
+    def proc():
+        offsets = []
+        for i in range(4):
+            off = yield from client.call(
+                stack,
+                LabRequest(op="blk.append", payload={"zone": 0, "data": bytes([i]) * 4096}),
+            )
+            offsets.append(off)
+        data = yield from client.call(
+            stack, LabRequest(op="blk.read", payload={"offset": offsets[2], "size": 4096})
+        )
+        return offsets, data
+
+    offsets, data = sys_.run(sys_.process(proc()))
+    assert offsets == [0, 4096, 8192, 12288]
+    assert data == bytes([2]) * 4096
