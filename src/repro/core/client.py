@@ -52,7 +52,9 @@ class LabStorClient:
         if self.conn is not None:
             raise LabStorError(f"client {self.pid} already connected")
         self.conn = yield self.env.process(self.runtime.ipc.connect(self.pid, ordered=ordered))
-        self._poller = self.env.process(self._poll_completions(), name=f"client{self.pid}.poller")
+        self._poller = self.env.process(
+            self._poll_completions(), name=f"client{self.pid}.poller", daemon=True
+        )
         return self.conn
 
     def disconnect(self) -> None:

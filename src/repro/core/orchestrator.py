@@ -151,18 +151,20 @@ class WorkOrchestrator:
         self.min_workers = min_workers
         self.max_workers = max_workers
         self.interval_ns = interval_ns
-        self.tracer = tracer
+        self.tracer = tracer if tracer is not None else env.tracer
         self.worker_kw = worker_kw or {}
         self.workers: list[Worker] = []
         self.queues: list[QueuePair] = []
         self._next_worker_id = 0
         self._prev_busy: dict[int, int] = {}
         self._epoch_start = env.now
+        # busy time burnt this epoch by workers that have since retired
+        self._retired_busy_ns = 0
         self.rebalances = 0
         self.paused = False  # set while the Runtime is crashed
         for _ in range(nworkers):
             self.spawn_worker()
-        self._proc = env.process(self._epoch_loop(), name="orchestrator")
+        self._proc = env.process(self._epoch_loop(), name="orchestrator", daemon=True)
 
     # -- worker pool ------------------------------------------------------
     def spawn_worker(self) -> Worker:
@@ -184,10 +186,20 @@ class WorkOrchestrator:
     def decommission_worker(self, worker: Worker) -> None:
         """Reassign all the worker's queues, then stop it."""
         self.workers.remove(worker)
+        # Fold the retiree's final busy delta into this epoch's measured
+        # demand and drop its _prev_busy entry — scale-in must neither
+        # under-report demand nor leave stale worker ids behind.
+        busy = worker.core.busy_time()
+        prev = self._prev_busy.pop(worker.worker_id, busy)
+        self._retired_busy_ns += busy - prev
         for qp in list(worker.queues):
             worker.unassign(qp)
         worker.decommission()
         self.cpu.unpin(worker.core_id)
+        if self.workers and not self.paused:
+            # Immediately hand the retiree's queues to the survivors; waiting
+            # for the next epoch would strand them for up to interval_ns.
+            self.rebalance()
 
     # -- queue registration -------------------------------------------------
     def register_queue(self, qp: QueuePair) -> None:
@@ -209,7 +221,7 @@ class WorkOrchestrator:
     def measured_demand_cores(self) -> float:
         """Cores of CPU the pool consumed in the last epoch."""
         elapsed = max(1, self.env.now - self._epoch_start)
-        total = 0
+        total = self._retired_busy_ns
         for w in self.workers:
             busy = w.core.busy_time()
             total += busy - self._prev_busy.get(w.worker_id, 0)
@@ -226,6 +238,9 @@ class WorkOrchestrator:
                     worker.unassign(qp)
             for qp in qps:
                 worker.assign(qp)
+        t = self.tracer
+        if t.audit:
+            t.emit(self.env.now, "san.rebalance", orch=self)
 
     def _scale(self) -> None:
         demand = self.measured_demand_cores()
@@ -249,6 +264,7 @@ class WorkOrchestrator:
             self.rebalance()
             for w in self.workers:
                 self._prev_busy[w.worker_id] = w.core.busy_time()
+            self._retired_busy_ns = 0
             self._epoch_start = self.env.now
 
     # -- introspection ----------------------------------------------------

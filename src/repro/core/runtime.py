@@ -15,7 +15,7 @@ from ..devices.base import BlockDevice
 from ..errors import LabStorError
 from ..ipc.manager import IpcManager
 from ..kernel.cpu import DEFAULT_COST, CostModel, Cpu
-from ..sim import Environment, Tracer
+from ..sim import Environment
 from ..units import msec
 from .komgr import KernelOpsManager
 from .labmod import ExecContext, ModContext
@@ -74,7 +74,11 @@ class LabStorRuntime:
         self.cost = cost
         self.config = config or RuntimeConfig()
         self.devices = devices or {}
-        self.tracer = Tracer(enabled=self.config.trace)
+        # Share the environment's tracer so sim-kernel audit hooks and
+        # runtime span emission ride one pub/sub seam.
+        self.tracer = env.tracer
+        if self.config.trace:
+            self.tracer.enabled = True
         self.cpu = Cpu(env, ncores=self.config.ncores, cost=cost)
         self.ipc = IpcManager(env, cost=cost)
         self.mod_ctx = ModContext(env, cost, self.tracer, self.devices)
@@ -111,7 +115,7 @@ class LabStorRuntime:
         self.crashes = 0
         self._online_waiters: list = []
         self._restart_callbacks: list = []
-        self._admin = env.process(self._admin_loop(), name="runtime-admin")
+        self._admin = env.process(self._admin_loop(), name="runtime-admin", daemon=True)
 
     # ------------------------------------------------------------------
     # deployment API (mount.repo / mount.stack / modify.*)

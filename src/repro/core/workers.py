@@ -46,13 +46,11 @@ class Worker:
         idle_sleep_ns: int = 50_000,
         max_inflight: int = 64,
     ) -> None:
-        from ..sim import Tracer
-
         self.env = env
         self.worker_id = worker_id
         self.cpu = cpu
         self.executor = executor
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer if tracer is not None else env.tracer
         self.core_id = core_id if core_id is not None else cpu.pin()
         self.core = cpu.cores[self.core_id]
         self.poll_quantum_ns = poll_quantum_ns
@@ -72,7 +70,7 @@ class Worker:
         self._awake_since: int | None = env.now
         self._wake_event = env.event()
         self._sleeping = False
-        self.proc = env.process(self._loop(), name=f"worker{worker_id}")
+        self.proc = env.process(self._loop(), name=f"worker{worker_id}", daemon=True)
 
     # ------------------------------------------------------------------
     # queue assignment (driven by the Work Orchestrator)
@@ -212,6 +210,9 @@ class Worker:
         self.inflight -= 1
         self._inflight_per_qp[qp.qid] -= 1
         self._last_work_ns = self.env.now
+        t = self.env.tracer
+        if t.audit:
+            t.emit(self.env.now, "san.worker", worker=self, qp=qp)
         qp.complete(Completion(req, value=value, error=error))
         # a completion can unblock an ordered queue or the inflight cap
         self.kick()

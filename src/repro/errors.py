@@ -11,6 +11,10 @@ class SimulationError(ReproError):
     """Internal inconsistency in the discrete-event simulation kernel."""
 
 
+class SanitizerError(SimulationError):
+    """An invariant checked by :mod:`repro.sim.sanitizer` was violated."""
+
+
 class DeviceError(ReproError):
     """Invalid operation against a simulated storage device."""
 

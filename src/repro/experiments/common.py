@@ -16,6 +16,7 @@ from ..kernel import make_filesystem
 from ..mods.generic_fs import GenericFS
 from ..mods.generic_kvs import GenericKVS
 from ..sim import Environment
+from ..sim.sanitizer import maybe_attach
 from ..system import LabStorSystem
 from ..workloads.fsapi import GenericFsAdapter, KernelFsAdapter
 
@@ -34,6 +35,7 @@ LAB_VARIANTS = ("all", "min", "d")
 def kernel_fs_api(device: str = "nvme", fs_name: str = "ext4", **fs_kw):
     """(env, api, fs, device) for a kernel-FS baseline."""
     env = Environment()
+    maybe_attach(env)
     dev = make_device(env, device)
     fs = make_filesystem(fs_name, env, dev, **fs_kw)
     return env, KernelFsAdapter(fs), fs, dev

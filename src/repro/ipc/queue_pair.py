@@ -85,6 +85,10 @@ class QueuePair:
         if self.segment is not None and pid is not None:
             self.segment.check(pid)
 
+    # -- audit hook -------------------------------------------------------
+    def _audit(self, op: str) -> None:
+        self.env.tracer.emit(self.env.now, "san.qp", qp=self, op=op)
+
     # -- submission side ----------------------------------------------------
     def submit(self, request: Any, pid: int | None = None) -> Event:
         """Place a request on the SQ. Returns the store-accept event."""
@@ -93,21 +97,34 @@ class QueuePair:
             # Paused for upgrade: the entry still lands in the SQ, but no
             # worker will pop it until the Module Manager resumes the queue.
             pass
+        # peak-decay tracker: reacts to the first heavy request immediately,
+        # forgets a workload change within a few submissions (a workload
+        # signal, so it updates at submit time, not at acceptance)
+        self.est_ewma_ns = max(0.7 * self.est_ewma_ns, float(getattr(request, "est_ns", 0)))
+        # Conservation counters move only when the SQ actually accepts the
+        # entry — with a full ring the put blocks, and counting at submit
+        # time would let a completion race the acceptance (inflight drift).
+        return self.sq.put(request, on_accept=self._account_accept)
+
+    def _account_accept(self, request: Any) -> None:
         self.inflight += 1
         self.submitted_total += 1
-        est = getattr(request, "est_ns", 0)
-        self.est_queued_ns += est
-        # peak-decay tracker: reacts to the first heavy request immediately,
-        # forgets a workload change within a few submissions
-        self.est_ewma_ns = max(0.7 * self.est_ewma_ns, float(est))
-        return self.sq.put(request)
+        self.est_queued_ns += getattr(request, "est_ns", 0)
+        t = self.env.tracer
+        if t.audit:
+            self._audit("submit")
 
     def pop_request(self, pid: int | None = None):
         """Process generator: worker-side pop (pays the cross-core hop)."""
         self._check(pid)
         request = yield self.sq.get()
-        yield self.env.timeout(self.pop_cost_ns)
+        # the entry left the SQ now; deduct before the hop-cost timeout so
+        # est_queued_ns never transiently covers already-popped work
         self.est_queued_ns -= getattr(request, "est_ns", 0)
+        t = self.env.tracer
+        if t.audit:
+            self._audit("pop")
+        yield self.env.timeout(self.pop_cost_ns)
         return request
 
     def try_pop_request(self, pid: int | None = None) -> Any | None:
@@ -116,6 +133,9 @@ class QueuePair:
         item = self.sq.try_get()
         if item is not None:
             self.est_queued_ns -= getattr(item, "est_ns", 0)
+            t = self.env.tracer
+            if t.audit:
+                self._audit("pop")
         return item
 
     @property
@@ -130,10 +150,15 @@ class QueuePair:
     # -- completion side --------------------------------------------------
     def complete(self, completion: Completion, pid: int | None = None) -> Event:
         self._check(pid)
+        if self.inflight <= 0:
+            # Reject before touching the counters: a bad completion must not
+            # corrupt the conservation bookkeeping it is about to violate.
+            raise IpcError(f"QP {self.qid}: completion without submission")
         self.inflight -= 1
         self.completed_total += 1
-        if self.inflight < 0:
-            raise IpcError(f"QP {self.qid}: completion without submission")
+        t = self.env.tracer
+        if t.audit:
+            self._audit("complete")
         if self.inflight == 0:
             waiters, self._drain_waiters = self._drain_waiters, []
             for ev in waiters:

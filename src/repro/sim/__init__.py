@@ -13,6 +13,7 @@ from .core import (
 )
 from .resources import Container, FilterStore, PriorityResource, Resource, Store
 from .rng import RngRegistry
+from .sanitizer import Sanitizer, SanitizerError
 from .stats import Counter, Histogram, LatencyRecorder, OnlineStats, percentile
 from .trace import SpanAccumulator, Tracer
 
@@ -39,4 +40,6 @@ __all__ = [
     "percentile",
     "SpanAccumulator",
     "Tracer",
+    "Sanitizer",
+    "SanitizerError",
 ]

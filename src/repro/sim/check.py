@@ -1,0 +1,275 @@
+"""Determinism checker: replay a scenario and compare trace hashes.
+
+The reproducibility contract of the DES kernel is that a seeded scenario
+always produces the same event stream.  This module makes that claim
+testable: it runs a named scenario twice in the same process, hashes every
+trace event (spans plus the sanitizer's ``san.*`` kernel audit stream),
+and reports whether the two digests match — alongside the sanitizer's
+invariant report for each run.
+
+Usage::
+
+    python -m repro.sim.check                    # all scenarios, twice each
+    python -m repro.sim.check quickstart         # one scenario
+    python -m repro.sim.check --list
+
+or from a test via the ``determinism_check`` pytest fixture
+(``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import sys
+from typing import Any, Callable
+
+from .core import Environment
+from .sanitizer import Sanitizer
+from .trace import TraceEvent
+
+__all__ = [
+    "TraceHasher",
+    "AuditRun",
+    "reset_global_counters",
+    "run_scenario",
+    "SCENARIOS",
+    "main",
+]
+
+
+def _canon(v: Any) -> str:
+    """Stable projection of a trace-event field for hashing.
+
+    Scalars hash by value; arbitrary objects hash by type name only, so
+    memory addresses and process-global ids never leak into the digest.
+    """
+    if v is None or isinstance(v, (bool, int, str)):
+        return repr(v)
+    if isinstance(v, float):
+        return format(v, ".17g")
+    return type(v).__name__
+
+
+class TraceHasher:
+    """A tracer sink folding every event into one SHA-256 digest."""
+
+    def __init__(self) -> None:
+        self._h = hashlib.sha256()
+        self.count = 0
+
+    def __call__(self, ev: TraceEvent) -> None:
+        parts = [str(ev.time_ns), ev.category]
+        parts += [f"{k}={_canon(ev.fields[k])}" for k in sorted(ev.fields)]
+        self._h.update("|".join(parts).encode())
+        self._h.update(b"\n")
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        return self._h.hexdigest()
+
+
+class AuditRun:
+    """One sanitized, hashed scenario execution.
+
+    A scenario receives the AuditRun, builds its environment, calls
+    :meth:`attach` *before* driving any simulation, and runs.  Afterwards
+    :attr:`digest` is the trace hash and :meth:`finish` yields the
+    sanitizer's teardown report.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.hasher = TraceHasher()
+        self.sanitizer = Sanitizer(strict=strict)
+        self.env: Environment | None = None
+
+    def attach(self, env: Environment) -> Environment:
+        self.env = env
+        self.sanitizer.install(env)
+        env.tracer.add_sink(self.hasher)
+        return env
+
+    def finish(self) -> dict[str, Any]:
+        return self.sanitizer.finish()
+
+    @property
+    def digest(self) -> str:
+        return self.hasher.hexdigest()
+
+
+def reset_global_counters() -> None:
+    """Rewind every module-level id counter to its import-time start.
+
+    Request/queue/segment/stack ids come from process-global counters, and
+    process names (hashed via ``san.step``) embed them — so back-to-back
+    runs of one scenario must start from identical counter state to be
+    comparable.
+    """
+    from .. import system as _system
+    from ..core import client as _client
+    from ..core import labstack as _labstack
+    from ..core import requests as _requests
+    from ..devices import base as _devbase
+    from ..ipc import queue_pair as _qp
+    from ..ipc import shmem as _shmem
+    from ..mods.labfs import log as _lablog
+
+    _system._uuid_seq = itertools.count(1)
+    _client._pids = itertools.count(1000)
+    _labstack._stack_ids = itertools.count(1)
+    _requests._req_ids = itertools.count(1)
+    _devbase._req_ids = itertools.count(1)
+    _qp._qids = itertools.count(1)
+    _shmem._seg_ids = itertools.count(1)
+    _lablog._seq = itertools.count(1)
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def _scenario_quickstart(audit: AuditRun) -> dict[str, Any]:
+    """The README quickstart: mount Lab-All, write + read one file."""
+    from ..mods.generic_fs import GenericFS
+    from ..system import LabStorSystem
+
+    env = Environment()
+    audit.attach(env)
+    system = LabStorSystem(env=env, devices=("nvme",))
+    system.mount_fs_stack("fs::/demo", variant="all")
+    gfs = GenericFS(system.client())
+    payload = b"determinism is a feature " * 160  # ~4KB
+
+    def go():
+        fd = yield from gfs.open("fs::/demo/hello.txt", create=True)
+        yield from gfs.write(fd, payload, offset=0)
+        data = yield from gfs.read(fd, len(payload), offset=0)
+        yield from gfs.fsync(fd)
+        yield from gfs.close(fd)
+        return data
+
+    data = system.run(system.process(go()))
+    assert data == payload, "quickstart round-trip mismatch"
+    return {"bytes": len(payload), "stats": system.runtime.stats()}
+
+
+def _scenario_orchestration(audit: AuditRun) -> dict[str, Any]:
+    """Dynamic-policy scaling: a heavy wave then a light one, so the
+    orchestrator both spawns and decommissions workers (the scale-in
+    path this PR fixed)."""
+    import numpy as np
+
+    from ..core import RuntimeConfig, StackSpec
+    from ..system import LabStorSystem
+    from ..units import msec
+    from ..workloads.fio import FioJob, FioResult, LabStackEngine, _job_proc
+
+    env = Environment()
+    audit.attach(env)
+    system = LabStorSystem(
+        env=env,
+        devices=("nvme",),
+        config=RuntimeConfig(nworkers=1, policy="dynamic", max_workers=6,
+                             orchestrator_interval_ns=msec(1.0)),
+    )
+    spec = StackSpec.linear("blk::/w", [("NoOpSchedMod", "chk.noop"),
+                                        ("KernelDriverMod", "chk.drv")])
+    spec.nodes[0].attrs = {"nqueues": 8}
+    spec.nodes[1].attrs = {"device": "nvme"}
+    stack = system.runtime.mount_stack(spec)
+    engines = [LabStackEngine(system.client(), stack, system.devices["nvme"])
+               for _ in range(4)]
+
+    def wave(engs, ops):
+        result = FioResult()
+        procs = [
+            system.process(_job_proc(env, e, FioJob(rw="randwrite", bs=4096, nops=ops, core=i),
+                                     np.random.default_rng(i), result, b"x" * 4096))
+            for i, e in enumerate(engs)
+        ]
+        system.run(env.all_of(procs))
+
+    wave(engines, 150)      # heavy: the pool scales out
+    wave(engines[:1], 250)  # light: the pool scales back in
+    orch = system.runtime.orchestrator
+    return {"workers": orch.worker_count(), "rebalances": orch.rebalances}
+
+
+def _scenario_kvs(audit: AuditRun) -> dict[str, Any]:
+    """LabKVS put/get churn through the Runtime's workers."""
+    from ..mods.generic_kvs import GenericKVS
+    from ..system import LabStorSystem
+
+    env = Environment()
+    audit.attach(env)
+    system = LabStorSystem(env=env, devices=("nvme",))
+    system.mount_kvs_stack("kvs::/x", variant="all")
+    kvs = GenericKVS(system.client(), "kvs::/x")
+
+    def go():
+        for i in range(48):
+            yield from kvs.put(f"key{i % 12}", bytes([i % 251]) * (64 + 16 * (i % 7)))
+        hits = 0
+        for i in range(12):
+            if (yield from kvs.get(f"key{i}")) is not None:
+                hits += 1
+        return hits
+
+    hits = system.run(system.process(go()))
+    assert hits == 12, f"kvs round-trip lost keys ({hits}/12)"
+    return {"hits": hits}
+
+
+SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {
+    "quickstart": _scenario_quickstart,
+    "orchestration": _scenario_orchestration,
+    "kvs": _scenario_kvs,
+}
+
+
+def run_scenario(name: str, strict: bool = True) -> tuple[str, dict[str, Any]]:
+    """Run one scenario under the sanitizer; returns (digest, report)."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}")
+    reset_global_counters()
+    audit = AuditRun(strict=strict)
+    result = SCENARIOS[name](audit)
+    report = audit.finish()
+    report["result"] = result
+    report["trace_events"] = audit.hasher.count
+    return audit.digest, report
+
+
+def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        print("\n".join(SCENARIOS))
+        return 0
+    strict = "--strict" in argv
+    bad_flags = [a for a in argv if a.startswith("-") and a != "--strict"]
+    if bad_flags:
+        print(f"unknown option(s): {', '.join(bad_flags)}; "
+              f"usage: check [--list] [--strict] [scenario ...]", file=sys.stderr)
+        return 2
+    names = [a for a in argv if not a.startswith("-")] or list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}; try --list", file=sys.stderr)
+        return 2
+    failed = False
+    for name in names:
+        d1, r1 = run_scenario(name, strict=strict)
+        d2, r2 = run_scenario(name, strict=strict)
+        ok = d1 == d2 and not r1["violations"] and not r2["violations"]
+        failed |= not ok
+        verdict = "ok" if ok else "FAIL"
+        print(f"[{verdict}] {name}: {r1['trace_events']} trace events, "
+              f"{sum(r1['checks'].values())} invariant checks")
+        print(f"       run 1: {d1}")
+        print(f"       run 2: {d2}{'' if d1 == d2 else '   <-- NON-DETERMINISTIC'}")
+        for i, rep in enumerate((r1, r2), 1):
+            for v in rep["violations"]:
+                print(f"       run {i} violation: {v}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

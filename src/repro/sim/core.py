@@ -16,6 +16,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
+from .trace import Tracer
 
 # Event priorities. Lower value runs first at equal timestamps.
 URGENT = 0
@@ -70,6 +71,9 @@ class Event:
         self._triggered = False
         self._processed = False
         self._defused = False
+        t = env.tracer
+        if t.audit:
+            t.emit(env._now, "san.ev_new", event=self)
 
     # -- state inspection ---------------------------------------------
     @property
@@ -160,15 +164,24 @@ class Process(Event):
     inside the generator succeeds the process event with that value.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "daemon")
 
-    def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: str | None = None,
+        daemon: bool = False,
+    ) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        #: daemon processes (worker loops, pollers) are expected to be
+        #: still waiting at teardown; the sanitizer's leak audit skips them
+        self.daemon = daemon
         Initialize(env, self)
 
     @property
@@ -199,6 +212,9 @@ class Process(Event):
         self._target = None
 
     def _resume(self, event: Event) -> None:
+        t = self.env.tracer
+        if t.audit:
+            t.emit(self.env._now, "san.resume", process=self, event=event)
         self.env._active_proc = self
         try:
             while True:
@@ -281,16 +297,21 @@ class Condition(Event):
         for ev in self._events:
             if ev.env is not env:
                 raise SimulationError("condition spans multiple Environments")
+        # Subscribe to *every* sub-event, even after the condition has
+        # already triggered: _check must keep watching so a late failure
+        # on an unwatched sub-event is defused instead of crashing step().
         for ev in self._events:
             if ev.callbacks is None:
                 self._check(ev)
             else:
                 ev.callbacks.append(self._check)
-            if self._triggered:
-                break
 
     def _check(self, event: Event) -> None:
         if self._triggered:
+            if not event._ok:
+                # The condition already fired (e.g. an any_of won): absorb
+                # the late failure of a now-unwatched sub-event.
+                event._defused = True
             return
         if not event._ok:
             event._defused = True
@@ -304,11 +325,13 @@ class Condition(Event):
 class Environment:
     """The simulation environment: clock, event heap, process bookkeeping."""
 
-    def __init__(self, initial_time: int = 0) -> None:
+    def __init__(self, initial_time: int = 0, tracer: Tracer | None = None) -> None:
         self._now = int(initial_time)
         self._heap: list[tuple[int, int, int, Event]] = []
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        #: shared pub/sub seam for spans and sanitizer audit hooks
+        self.tracer = tracer if tracer is not None else Tracer()
 
     # -- clock ----------------------------------------------------------
     @property
@@ -327,8 +350,10 @@ class Environment:
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: str | None = None) -> Process:
-        return Process(self, generator, name=name)
+    def process(
+        self, generator: Generator, name: str | None = None, daemon: bool = False
+    ) -> Process:
+        return Process(self, generator, name=name, daemon=daemon)
 
     def all_of(self, events: Iterable[Event]) -> Condition:
         events = list(events)
@@ -355,6 +380,10 @@ class Environment:
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
+        t = self.tracer
+        if t.audit:
+            t.emit(when, "san.step", kind=type(event).__name__,
+                   name=getattr(event, "name", None), ok=event._ok, prio=_prio)
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         for cb in callbacks or ():
@@ -406,6 +435,20 @@ class Environment:
             return stop_event._value
         return None
 
-    @staticmethod
-    def _stop_cb(event: Event) -> None:
-        raise StopSimulation()
+    def _stop_cb(self, event: Event) -> None:
+        """Armed on ``run(until=event)``'s stop event.
+
+        Must not raise here: a raise mid-callback-loop would drop the stop
+        event's remaining callbacks, so other processes waiting on the same
+        event would never resume.  Instead schedule an URGENT sentinel whose
+        processing raises after the stop event's callback loop completed.
+        """
+        sentinel = Event(self)
+        sentinel._triggered = True
+        sentinel._ok = True
+        sentinel.callbacks = [_raise_stop]
+        self._schedule(sentinel, delay=0, priority=URGENT)
+
+
+def _raise_stop(event: Event) -> None:
+    raise StopSimulation()

@@ -128,7 +128,7 @@ class Store:
         self.capacity = capacity
         self.items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
-        self._putters: deque[tuple[Event, Any]] = deque()
+        self._putters: deque[tuple[Event, Any, Optional[Callable[[Any], None]]]] = deque()
         self._watchers: list[Event] = []
 
     def __len__(self) -> int:
@@ -153,10 +153,16 @@ class Store:
             for ev in watchers:
                 ev.succeed()
 
-    def put(self, item: Any) -> Event:
-        """Returns an event that fires once the item is accepted."""
+    def put(self, item: Any, on_accept: Callable[[Any], None] | None = None) -> Event:
+        """Returns an event that fires once the item is accepted.
+
+        ``on_accept`` runs synchronously at the moment the item actually
+        enters the store (possibly later than the put, if the store is at
+        capacity) — the seam queue pairs use to keep their accounting tied
+        to acceptance rather than to the put call.
+        """
         ev = Event(self.env)
-        self._putters.append((ev, item))
+        self._putters.append((ev, item, on_accept))
         self._dispatch()
         return ev
 
@@ -177,8 +183,10 @@ class Store:
 
     def _accept(self) -> None:
         while self._putters and (self.capacity is None or len(self.items) < self.capacity):
-            ev, item = self._putters.popleft()
+            ev, item, on_accept = self._putters.popleft()
             self.items.append(item)
+            if on_accept is not None:
+                on_accept(item)
             ev.succeed(priority=URGENT)
 
     def _serve(self) -> None:
@@ -191,6 +199,9 @@ class Store:
         self._serve()
         self._accept()
         self._notify_watchers()
+        t = self.env.tracer
+        if t.audit:
+            t.emit(self.env._now, "san.store", store=self)
 
 
 class FilterStore(Store):

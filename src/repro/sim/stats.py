@@ -161,7 +161,9 @@ class Histogram:
         cum = 0
         for i, c in enumerate(self.buckets):
             cum += int(c)
-            if cum >= target:
+            # `c` guard: quantile(0.0) must report the lowest *occupied*
+            # bucket, not bucket 0 (cum >= 0 is vacuously true there)
+            if c and cum >= target:
                 return float(self.bucket_bounds(i)[1])
         return float(self.bucket_bounds(len(self.buckets) - 1)[1])
 

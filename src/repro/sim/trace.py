@@ -28,6 +28,10 @@ class Tracer:
         self.enabled = enabled
         self.events: list[TraceEvent] = []
         self.keep_events = False
+        #: set by the sanitizer: makes the sim kernel and IPC/orchestrator
+        #: layers emit ``san.*`` audit events.  Every emission site is
+        #: gated on this flag, so the disabled-path cost is one branch.
+        self.audit = False
         self._sinks: list[Callable[[TraceEvent], None]] = []
 
     def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:

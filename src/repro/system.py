@@ -25,6 +25,7 @@ from .errors import LabStorError
 from .kernel.cpu import DEFAULT_COST, CostModel
 from .mods import STANDARD_REPO
 from .sim import Environment, RngRegistry
+from .sim.sanitizer import maybe_attach
 
 __all__ = ["LabStorSystem", "VARIANTS"]
 
@@ -42,8 +43,12 @@ class LabStorSystem:
         config: RuntimeConfig | None = None,
         cost: CostModel = DEFAULT_COST,
         device_overrides: dict[str, dict] | None = None,
+        env: Environment | None = None,
     ) -> None:
-        self.env = Environment()
+        self.env = env if env is not None else Environment()
+        # REPRO_SANITIZE=1 arms the invariant checker for every deployment
+        # built through this facade (covers all experiment drivers)
+        self.sanitizer = maybe_attach(self.env)
         self.rngs = RngRegistry(seed)
         self.cost = cost
         overrides = device_overrides or {}

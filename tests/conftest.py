@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture
+def determinism_check():
+    """Assert a scenario produces an identical trace hash on every run.
+
+    The scenario callable receives an :class:`repro.sim.check.AuditRun`;
+    it must build its environment, call ``audit.attach(env)`` before
+    driving any simulation, and run to completion (the protocol of
+    ``repro.sim.check.SCENARIOS``).  Returns the common digest.
+    """
+    from repro.sim.check import AuditRun, reset_global_counters
+
+    def _check(scenario, runs=2, strict=True):
+        digests = []
+        for _ in range(runs):
+            reset_global_counters()
+            audit = AuditRun(strict=strict)
+            scenario(audit)
+            audit.finish()
+            digests.append(audit.digest)
+        assert len(set(digests)) == 1, f"non-deterministic trace stream: {digests}"
+        return digests[0]
+
+    return _check

@@ -242,3 +242,52 @@ def test_spawn_beyond_max_rejected():
     orch = WorkOrchestrator(env, cpu, echo_executor, nworkers=2, max_workers=2)
     with pytest.raises(ValueError):
         orch.spawn_worker()
+
+
+# --- regressions: ISSUE 1 orchestrator scale-in -------------------------
+def test_decommission_rebalances_immediately_no_stranded_queues():
+    """Retiring a worker must hand its queues to survivors right away,
+    not leave them stranded until the next epoch's rebalance."""
+    env = Environment()
+    cpu = Cpu(env, ncores=8)
+    orch = WorkOrchestrator(env, cpu, echo_executor, nworkers=2)
+    qps = [QueuePair(env) for _ in range(4)]
+    for qp in qps:
+        orch.register_queue(qp)
+    victim = orch.workers[1]
+    orch.decommission_worker(victim)
+    # no manual rebalance() here — the decommission itself must cover it
+    snapshot = orch.assignment_snapshot()
+    assigned = sorted(q for qids in snapshot.values() for q in qids)
+    assert assigned == sorted(qp.qid for qp in qps)
+
+
+def test_decommission_drops_prev_busy_entry():
+    env = Environment()
+    cpu = Cpu(env, ncores=8)
+    orch = WorkOrchestrator(env, cpu, echo_executor, nworkers=3)
+    victim = orch.workers[2]
+    assert victim.worker_id in orch._prev_busy
+    orch.decommission_worker(victim)
+    assert victim.worker_id not in orch._prev_busy
+    assert set(orch._prev_busy) == {w.worker_id for w in orch.workers}
+
+
+def test_decommission_folds_final_busy_delta_into_demand():
+    """Scale-in must not under-report demand: the retiree's busy time this
+    epoch still counts toward measured_demand_cores()."""
+    env = Environment()
+    cpu = Cpu(env, ncores=8)
+    orch = WorkOrchestrator(env, cpu, echo_executor, nworkers=2)
+    victim = orch.workers[1]
+    grant = victim.core.request()  # occupy the retiree's core...
+
+    def wait():
+        yield env.timeout(1000)  # ...for 1000ns of this epoch
+
+    env.run(env.process(wait()))
+    victim.core.release(grant)
+    orch.decommission_worker(victim)
+    # 1000ns busy over a 1000ns epoch on one (retired) core ~= 1.0 cores,
+    # plus whatever the surviving worker's poll loop consumed
+    assert orch.measured_demand_cores() >= 1.0

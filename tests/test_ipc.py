@@ -242,3 +242,66 @@ def test_unknown_qid():
     ipc = IpcManager(env)
     with pytest.raises(IpcError):
         ipc.get_qp(99999)
+
+
+# --- regressions: ISSUE 1 queue-pair accounting -------------------------
+class _Req:
+    def __init__(self, est_ns=1000):
+        self.est_ns = est_ns
+
+
+def test_submit_counts_only_when_sq_accepts():
+    """With a full ring the put blocks; counters must not move until the
+    entry actually lands in the SQ."""
+    env = Environment()
+    qp = QueuePair(env, depth=1)
+    qp.submit(_Req(est_ns=100))
+    qp.submit(_Req(est_ns=200))  # ring full: this putter blocks
+    assert qp.submitted_total == 1
+    assert qp.inflight == 1
+    assert qp.est_queued_ns == 100
+    # popping frees the slot: the blocked entry is accepted synchronously
+    assert qp.try_pop_request() is not None
+    assert qp.submitted_total == 2
+    assert qp.inflight == 2
+    assert qp.est_queued_ns == 200
+
+
+def test_complete_without_submission_raises_before_mutating():
+    env = Environment()
+    qp = QueuePair(env)
+    with pytest.raises(IpcError, match="completion without submission"):
+        qp.complete(Completion(None))
+    assert qp.inflight == 0
+    assert qp.completed_total == 0
+    assert qp.submitted_total == 0
+
+
+def test_est_queued_deducted_at_pop_not_after_hop():
+    env = Environment()
+    qp = QueuePair(env, pop_cost_ns=500)
+    qp.submit(_Req(est_ns=750))
+    got = []
+
+    def worker():
+        req = yield from qp.pop_request()
+        got.append(req)
+
+    env.process(worker())
+    env.run()
+    assert got[0].est_ns == 750
+    assert qp.est_queued_ns == 0
+
+
+def test_submit_total_conservation_through_lifecycle():
+    env = Environment()
+    qp = QueuePair(env)
+
+    def proc():
+        yield qp.submit(_Req())
+        yield qp.submit(_Req())
+
+    env.run(env.process(proc()))
+    qp.try_pop_request()
+    qp.complete(Completion(None))
+    assert qp.submitted_total == qp.completed_total + qp.inflight == 2

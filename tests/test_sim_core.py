@@ -301,3 +301,100 @@ def test_condition_with_failed_subevent_fails():
     env.process(trigger())
     p = env.process(waiter())
     assert env.run(p) is True
+
+
+# --- regressions: ISSUE 1 satellite fixes -------------------------------
+def test_any_of_late_failure_on_losing_subevent_is_defused():
+    """A sub-event failing *after* an any_of already triggered must not
+    crash Environment.step() (the condition defuses it)."""
+    env = Environment()
+    winner, loser = env.event(), env.event()
+    results = []
+
+    def waiter():
+        cond = yield env.any_of([winner, loser])
+        results.append(winner in cond)
+
+    def driver():
+        yield env.timeout(10)
+        winner.succeed("first")
+        yield env.timeout(10)
+        loser.fail(RuntimeError("too late"))
+
+    env.process(waiter())
+    env.process(driver())
+    env.run()  # must not raise
+    assert results == [True]
+    assert loser.triggered and not loser.ok
+
+
+def test_any_of_late_failure_of_unsubscribed_subevent_is_defused():
+    """Same class of bug via the constructor path: when one sub-event is
+    already processed, the remaining ones must still be watched so their
+    later failures are absorbed."""
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+    env.run()  # process `done` so Condition sees callbacks=None
+    late = env.event()
+
+    def waiter():
+        yield env.any_of([done, late])
+
+    def driver():
+        yield env.timeout(5)
+        late.fail(ValueError("nobody is watching"))
+
+    env.process(waiter())
+    env.process(driver())
+    env.run()  # must not raise
+
+
+def test_run_until_event_does_not_drop_other_waiters():
+    """run(until=event) used to raise StopSimulation mid-callback-loop,
+    so other processes waiting on the same event never resumed."""
+    env = Environment()
+    ev = env.event()
+    log = []
+
+    def other():
+        yield ev
+        log.append("resumed")
+        yield env.timeout(5)
+        log.append("done")
+
+    def trigger():
+        yield env.timeout(10)
+        ev.succeed("v")
+
+    env.process(other())
+    env.process(trigger())
+    assert env.run(until=ev) == "v"
+    assert log == ["resumed"]  # the co-waiter got its callback
+    env.run()  # continue past the stop point
+    assert log == ["resumed", "done"]
+
+
+def test_run_until_failed_event_still_raises():
+    env = Environment()
+    ev = env.event()
+
+    def trigger():
+        yield env.timeout(1)
+        ev.fail(KeyError("bad"))
+
+    env.process(trigger())
+    with pytest.raises(KeyError):
+        env.run(until=ev)
+
+
+def test_daemon_flag_defaults_false_and_is_settable():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+
+    p = env.process(proc())
+    d = env.process(proc(), daemon=True)
+    assert not p.daemon and d.daemon
+    env.run()

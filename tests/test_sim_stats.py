@@ -171,3 +171,13 @@ def test_span_accumulator_sums_durations():
 
 def test_span_accumulator_empty_fractions():
     assert SpanAccumulator().fractions() == {}
+
+
+def test_histogram_quantile_zero_reports_lowest_occupied_bucket():
+    """Regression (ISSUE 1): quantile(0.0) used to return bucket 0's bound
+    even when that bucket was empty."""
+    h = Histogram(min_ns=1)
+    h.add(10**6)
+    lo, hi = 2 ** 19, 2 ** 21  # 1e6 falls in the [2^19, 2^20) bucket
+    assert lo <= h.quantile(0.0) <= hi
+    assert h.quantile(0.0) == h.quantile(1.0)
