@@ -1,0 +1,77 @@
+"""Telemetry overhead: disabled repro.obs must cost only a flag check.
+
+Runs the Fig 4(a)-style anatomy workload with telemetry off and on,
+records host wall-time per op for both in ``extra_info``, and asserts
+that the disabled path perturbs nothing: identical virtual end time,
+no spans allocated, no tracer sinks armed.
+"""
+
+import time
+
+from repro.core.runtime import RuntimeConfig
+from repro.mods.generic_fs import GenericFS
+from repro.obs import Telemetry
+from repro.system import LabStorSystem
+
+NOPS = 256
+BS = 4096
+
+
+def _run_workload(telemetry):
+    sys_ = LabStorSystem(
+        devices=("nvme",), config=RuntimeConfig(nworkers=1), telemetry=telemetry
+    )
+    sys_.stack("fs::/b").fs(variant="all").device("nvme").uuid_prefix("bench").mount()
+    gfs = GenericFS(sys_.client())
+
+    def scenario():
+        fd = yield from gfs.open("fs::/b/f", create=True)
+        for i in range(NOPS):
+            yield from gfs.write(fd, b"w" * BS, offset=i * BS)
+        for i in range(NOPS):
+            yield from gfs.read(fd, BS, offset=i * BS)
+
+    t0 = time.perf_counter()
+    sys_.run(sys_.process(scenario()))
+    wall = time.perf_counter() - t0
+    vnow = sys_.env.now
+    sys_.shutdown()
+    return wall, vnow, sys_
+
+
+def test_bench_obs_overhead(benchmark):
+    def once():
+        # interleave off/on pairs and keep the best of each so a host
+        # scheduling hiccup can't skew one side
+        best_off = best_on = float("inf")
+        vt_off = vt_on = None
+        for _ in range(3):
+            w, v, sys_off = _run_workload(False)
+            best_off = min(best_off, w)
+            vt_off = v
+            assert sys_off.telemetry is None
+            assert not sys_off.env.tracer.obs
+            assert not sys_off.env.tracer.enabled
+
+            telemetry = Telemetry()
+            w, v, _ = _run_workload(telemetry)
+            best_on = min(best_on, w)
+            vt_on = v
+            assert telemetry.closed_total == 2 * NOPS + 1  # writes + reads + open
+        return best_off, best_on, vt_off, vt_on
+
+    best_off, best_on, vt_off, vt_on = benchmark.pedantic(once, rounds=1, iterations=1)
+
+    # telemetry is passive: armed or not, the simulated timeline is identical
+    assert vt_off == vt_on
+
+    per_op_off_us = best_off / (2 * NOPS) * 1e6
+    per_op_on_us = best_on / (2 * NOPS) * 1e6
+    delta_pct = (best_on - best_off) / best_off * 100
+    benchmark.extra_info["per_op_off_us"] = round(per_op_off_us, 2)
+    benchmark.extra_info["per_op_on_us"] = round(per_op_on_us, 2)
+    benchmark.extra_info["enabled_delta_pct"] = round(delta_pct, 1)
+    print(
+        f"\ntelemetry off: {per_op_off_us:.2f} us/op   "
+        f"on: {per_op_on_us:.2f} us/op   (enabled delta {delta_pct:+.1f}%)"
+    )

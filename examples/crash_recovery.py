@@ -16,7 +16,7 @@ from repro.units import msec
 
 def main() -> None:
     system = LabStorSystem(devices=("nvme",))
-    stack = system.mount_fs_stack("fs::/vault", variant="min", uuid_prefix="cr")
+    stack = system.stack("fs::/vault").fs(variant="min").uuid_prefix("cr").mount()
     client = system.client()
     gfs = GenericFS(client)
     labfs = system.runtime.registry.get("cr.labfs")

@@ -35,7 +35,7 @@ def main() -> None:
     # native key-value LabStacks
     for variant, label in (("all", "LabKVS-All"), ("min", "LabKVS-Min"), ("d", "LabKVS-D")):
         system = LabStorSystem(devices=("nvme",))
-        system.mount_kvs_stack("kvs::/objs", variant=variant)
+        system.stack("kvs::/objs").kvs(variant=variant).device("nvme").mount()
         kvs = GenericKVS(system.client(), "kvs::/objs")
         r = run_labios_kvs(system.env, kvs, nlabels=NLABELS, label_size=LABEL)
         rows.append([label, f"{r.throughput_MBps:.1f}", f"{r.labels_per_sec:.0f}"])

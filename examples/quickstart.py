@@ -17,8 +17,16 @@ def main() -> None:
     # 1. A complete deployment: devices + Runtime + standard LabMod repo.
     system = LabStorSystem(devices=("nvme",))
 
-    # 2. Mount a LabStack. 'all' = Permissions, LabFS, LRU, NoOp, KernelDriver.
-    stack = system.mount_fs_stack("fs::/demo", variant="all")
+    # 2. Compose + mount a LabStack with the fluent builder.
+    #    'all' = Permissions, LabFS, LRU, NoOp, KernelDriver.
+    stack = (
+        system.stack("fs::/demo")
+        .fs(variant="all")
+        .device("nvme")
+        .cache()
+        .sched("NoOpSchedMod")
+        .mount()
+    )
     print(f"mounted: {stack}")
 
     # 3. Connect a client and load the GenericFS connector (the LD_PRELOAD

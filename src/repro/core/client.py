@@ -18,7 +18,8 @@ import itertools
 from typing import Any
 
 from ..errors import LabStorError, RuntimeCrashed
-from ..sim import Environment
+from ..obs.spans import SpanContext
+from ..sim import Environment, Interrupt
 from .labstack import LabStack
 from .requests import LabRequest
 from .runtime import LabStorRuntime
@@ -64,6 +65,23 @@ class LabStorClient:
         self.runtime.ipc.disconnect(self.pid)
         self.conn = None
 
+    def close(self) -> None:
+        """Tear the client down for good: disconnect and stop the
+        completion poller daemon.
+
+        Unlike :meth:`disconnect` (which ``execve`` uses and which leaves
+        the poller to notice the connection change), close() interrupts
+        the poller so the simulated process count cannot grow across
+        repeated client construction.  Call it only once the client's
+        outstanding requests have drained (``LabStorSystem.shutdown``
+        drains first); completions arriving after close are dropped.
+        """
+        poller, self._poller = self._poller, None
+        self.disconnect()
+        if poller is not None and poller.is_alive:
+            poller.interrupt("client closed")
+        self._pending.clear()
+
     def fork(self, child_pid: int | None = None):
         """Process generator modelling fork/clone: the child reconnects and
         inherits the parent's open fd table (copied via the Runtime)."""
@@ -106,9 +124,26 @@ class LabStorClient:
         req.stack_id = stack.stack_id
         req.client_pid = self.pid
         req.submit_ns = self.env.now
+        t = self.runtime.tracer
+        sc = None
+        if t.obs:
+            sc = SpanContext(
+                op=req.op, now=self.env.now, req_id=req.req_id,
+                stack_id=stack.stack_id, sync=stack.exec_mode == "sync",
+            )
+            req.obs = sc
+            t.emit(self.env.now, "obs.open", span=sc)
         if stack.exec_mode == "sync":
-            value = yield self.env.process(self.runtime.execute_sync(req))
-            req.complete_ns = self.env.now
+            if sc is not None:
+                sc.mark_dispatched(self.env.now)
+            try:
+                value = yield self.env.process(self.runtime.execute_sync(req))
+            finally:
+                req.complete_ns = self.env.now
+                if sc is not None:
+                    sc.mark_complete(self.env.now)
+                    sc.close(self.env.now)
+                    t.emit(self.env.now, "obs.span", span=sc)
             self.completed += 1
             return value
         if self.conn is None:
@@ -125,6 +160,10 @@ class LabStorClient:
             self.env.now, "span", name="ipc", dur_ns=self.runtime.cost.shm_hop_ns
         )
         self.completed += 1
+        if sc is not None:
+            sc.add_cat("ipc", self.runtime.cost.shm_hop_ns)
+            sc.close(self.env.now)
+            t.emit(self.env.now, "obs.span", span=sc)
         if comp.error is not None:
             raise comp.error
         return comp.value
@@ -165,8 +204,11 @@ class LabStorClient:
 
     def _poll_completions(self):
         qp = self.conn.qp
-        while self.conn is not None and self.conn.qp is qp:
-            comp = yield self.env.process(qp.pop_completion(self.pid))
-            ev = self._pending.pop(comp.request.req_id, None)
-            if ev is not None and not ev.triggered:
-                ev.succeed(comp)
+        try:
+            while self.conn is not None and self.conn.qp is qp:
+                comp = yield from qp.pop_completion(self.pid)
+                ev = self._pending.pop(comp.request.req_id, None)
+                if ev is not None and not ev.triggered:
+                    ev.succeed(comp)
+        except Interrupt:
+            return  # client closed: stop reaping

@@ -68,6 +68,12 @@ class ExecContext:
         self.tracer = tracer
         self.core = core_resource  # sim Resource of the worker core, or None
         self.worker_id = worker_id  # shard key for per-worker structures
+        #: telemetry span of the request being executed (set by the worker
+        #: or the sync-execution path only when telemetry is armed).  Rides
+        #: the ExecContext rather than the request because LabMods spawn
+        #: sub-requests (LabFS block I/O, cache write-back) that must bill
+        #: into the originating request's span.
+        self.sc = None
 
     def work(self, ns: int, span: str | None = None):
         """Process generator: consume ``ns`` of CPU."""
@@ -80,6 +86,9 @@ class ExecContext:
             yield self.env.timeout(ns)
         if span:
             self.tracer.emit(self.env.now, "span", name=span, dur_ns=self.env.now - start)
+            sc = self.sc
+            if sc is not None:
+                sc.add_cat(span, self.env.now - start)
 
     def wait(self, event, span: str | None = None):
         """Process generator: wait off-core for ``event``."""
@@ -87,11 +96,19 @@ class ExecContext:
         value = yield event
         if span:
             self.tracer.emit(self.env.now, "span", name=span, dur_ns=self.env.now - start)
+            sc = self.sc
+            if sc is not None:
+                sc.add_cat(span, self.env.now - start)
+                if span == "device_io":
+                    sc.add_device_window(start, self.env.now)
         return value
 
     def span(self, name: str, dur_ns: int) -> None:
         """Record a span without elapsing time (bookkeeping attribution)."""
         self.tracer.emit(self.env.now, "span", name=name, dur_ns=dur_ns)
+        sc = self.sc
+        if sc is not None:
+            sc.add_cat(name, dur_ns)
 
 
 class LabMod(abc.ABC):
@@ -123,9 +140,17 @@ class LabMod(abc.ABC):
         """Pass ``req`` to downstream LabMods (charging the hop cost)."""
         targets = self.next if fanout is None else self.next[:fanout]
         result = None
+        sc = x.sc
         for nxt in targets:
             yield from x.work(self.ctx.cost.labmod_hop_ns)
-            result = yield from nxt.handle(req, x)
+            if sc is not None:
+                frame = sc.enter_mod(nxt.uuid, type(nxt).__name__, x.env.now)
+                try:
+                    result = yield from nxt.handle(req, x)
+                finally:
+                    sc.exit_mod(frame, x.env.now)
+            else:
+                result = yield from nxt.handle(req, x)
         return result
 
     def accepts_op(self, op: str) -> bool:

@@ -22,7 +22,7 @@ from typing import Callable
 
 from ..ipc.queue_pair import QueuePair
 from ..kernel.cpu import Cpu
-from ..sim import Environment
+from ..sim import Environment, Interrupt
 from ..units import msec
 from .workers import Worker
 
@@ -256,16 +256,27 @@ class WorkOrchestrator:
             self.decommission_worker(victim)
 
     def _epoch_loop(self):
-        while True:
-            yield self.env.timeout(self.interval_ns)
-            if self.paused:
-                continue
-            self._scale()
-            self.rebalance()
-            for w in self.workers:
-                self._prev_busy[w.worker_id] = w.core.busy_time()
-            self._retired_busy_ns = 0
-            self._epoch_start = self.env.now
+        try:
+            while True:
+                yield self.env.timeout(self.interval_ns)
+                if self.paused:
+                    continue
+                self._scale()
+                self.rebalance()
+                for w in self.workers:
+                    self._prev_busy[w.worker_id] = w.core.busy_time()
+                self._retired_busy_ns = 0
+                self._epoch_start = self.env.now
+        except Interrupt:
+            return  # orchestrator shut down
+
+    def shutdown(self) -> None:
+        """Stop the epoch loop and retire every worker (system teardown)."""
+        self.paused = True  # decommission must not rebalance onto survivors
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("orchestrator shutdown")
+        for w in list(self.workers):
+            self.decommission_worker(w)
 
     # -- introspection ----------------------------------------------------
     def worker_count(self) -> int:

@@ -29,6 +29,9 @@ class LabRequest:
     req_id: int = field(default_factory=lambda: next(_req_ids))
     submit_ns: int = -1
     complete_ns: int = -1
+    #: telemetry span (repro.obs.SpanContext), set by the client library
+    #: only when the environment's tracer has ``obs`` armed
+    obs: Optional[Any] = None
 
     @property
     def latency_ns(self) -> int:

@@ -15,7 +15,7 @@ from ..devices.base import BlockDevice
 from ..errors import LabStorError
 from ..ipc.manager import IpcManager
 from ..kernel.cpu import DEFAULT_COST, CostModel, Cpu
-from ..sim import Environment
+from ..sim import Environment, Interrupt
 from ..units import msec
 from .komgr import KernelOpsManager
 from .labmod import ExecContext, ModContext
@@ -154,12 +154,21 @@ class LabStorRuntime:
             entry = self.namespace.get_by_id(req.stack_id).entry
         else:
             raise LabStorError(f"request {req.req_id} has no routing information")
-        return (yield from entry.handle(req, x))
+        sc = x.sc
+        if sc is None:
+            return (yield from entry.handle(req, x))
+        frame = sc.enter_mod(entry.uuid, type(entry).__name__, self.env.now)
+        try:
+            return (yield from entry.handle(req, x))
+        finally:
+            sc.exit_mod(frame, self.env.now)
 
     def execute_sync(self, req: LabRequest):
         """Process generator: run a stack synchronously (client-side),
         bypassing the Runtime's queues and workers entirely."""
         x = ExecContext(self.env, self.tracer, core_resource=None)
+        if req.obs is not None:
+            x.sc = req.obs
         # File/KV ops pay the client library's namespace+fd bookkeeping;
         # raw block ops go through a pre-resolved stack handle (the
         # decentralized data-path design of Section III-B).
@@ -173,10 +182,22 @@ class LabStorRuntime:
     # admin thread: upgrade-queue polling
     # ------------------------------------------------------------------
     def _admin_loop(self):
-        while True:
-            yield self.env.timeout(self.config.admin_poll_ns)
-            if self.online and self.module_manager.pending():
-                yield self.env.process(self.module_manager.process_upgrades())
+        try:
+            while True:
+                yield self.env.timeout(self.config.admin_poll_ns)
+                if self.online and self.module_manager.pending():
+                    yield self.env.process(self.module_manager.process_upgrades())
+        except Interrupt:
+            return  # runtime shut down
+
+    def shutdown(self) -> None:
+        """Stop the Runtime's daemon processes (admin poller, orchestrator
+        epoch loop, workers).  The Runtime is not restartable afterwards;
+        use :meth:`crash`/:meth:`restart` to model failures instead."""
+        if self._admin is not None and self._admin.is_alive:
+            self._admin.interrupt("runtime shutdown")
+        self.online = False
+        self.orchestrator.shutdown()
 
     # ------------------------------------------------------------------
     # crash / restart (Section III-C3)

@@ -192,6 +192,10 @@ class Worker:
     def _run_request(self, qp: QueuePair, req: LabRequest):
         # in-flight counters were bumped by _scan_once at pop time
         x = ExecContext(self.env, self.tracer, core_resource=self.core, worker_id=self.worker_id)
+        sc = req.obs
+        if sc is not None:
+            sc.mark_pop(self.env.now)
+            x.sc = sc
         # the cross-core pop of the request payload
         yield from x.work(qp.pop_cost_ns, span="ipc")
         # request handling: parse, namespace/registry lookups, bookkeeping
@@ -206,6 +210,8 @@ class Worker:
             error = exc
             self.failed += 1
         req.complete_ns = self.env.now
+        if sc is not None:
+            sc.mark_complete(self.env.now)
         self.processed += 1
         self.inflight -= 1
         self._inflight_per_qp[qp.qid] -= 1

@@ -50,6 +50,9 @@ class BlockRequest:
     submit_ns: int = -1
     complete_ns: int = -1
     done: Optional[Event] = None  # succeeded with the request itself
+    #: telemetry span (repro.obs.SpanContext) of the syscall this bio
+    #: serves; set by the kernel block layer only when telemetry is armed
+    obs: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.op is IoOp.WRITE:
@@ -184,12 +187,25 @@ class BlockDevice:
         service = self.profile.service_ns(
             req.op, req.size, seek_frac=self._seek_frac(req), rng=self.rng
         )
+        queue_ns = self.env.now - req.submit_ns
         self._last_offset = req.offset + req.size
         yield self.env.timeout(service)
         self._apply(req)
         self._channels.release(slot)
         req.complete_ns = self.env.now
         self.completed += 1
+        t = self.env.tracer
+        if t.obs:
+            t.emit(
+                self.env.now, "obs.device",
+                device=self.name, hctx=qidx, op=req.op.value, size=req.size,
+                queue_ns=queue_ns, service_ns=service,
+            )
+            sc = req.obs
+            if sc is not None:
+                # kernel-baseline path: the driver above has no ExecContext,
+                # so the device bills its busy window into the span directly
+                sc.add_device_window(req.submit_ns, req.complete_ns)
         self._on_complete(req, qidx)
         req.done.succeed(req)
 

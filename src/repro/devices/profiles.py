@@ -13,8 +13,11 @@ written pages cost memory).
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
+from ..errors import LabStorError
 from ..sim import Environment
 from ..units import GiB, usec, msec
 from .base import DeviceProfile
@@ -31,6 +34,7 @@ __all__ = [
     "PMEM_EMULATED",
     "ZNS_NVME",
     "PROFILES",
+    "DeviceSpec",
     "make_device",
 ]
 
@@ -105,6 +109,49 @@ PROFILES: dict[str, DeviceProfile] = {
 
 _CLASSES = {"nvme": Nvme, "ssd": SataSsd, "hdd": Hdd, "pmem": Pmem, "zns": ZnsNvme}
 
+#: DeviceProfile fields a caller may override (``name`` is the profile key)
+_OVERRIDABLE = tuple(
+    f.name for f in dataclasses.fields(DeviceProfile) if f.name != "name"
+)
+
+
+def _validate_overrides(kind: str, overrides: dict) -> None:
+    bad = sorted(set(overrides) - set(_OVERRIDABLE))
+    if bad:
+        raise LabStorError(
+            f"unknown DeviceProfile override(s) {bad} for device kind {kind!r}; "
+            f"valid keys: {sorted(_OVERRIDABLE)}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """A typed, validated recipe for one device of a LabStorSystem.
+
+    Replaces the stringly ``device_overrides`` dict: the kind and every
+    override key are checked at construction time, so a typo fails where
+    it was written instead of silently building a default device.
+
+    ::
+
+        LabStorSystem(devices=[DeviceSpec("nvme", nqueues=16), "hdd"])
+    """
+
+    kind: str
+    overrides: dict = dataclasses.field(default_factory=dict)
+
+    def __init__(self, kind: str, **overrides) -> None:
+        if kind not in PROFILES:
+            raise LabStorError(
+                f"unknown device kind {kind!r}; choose from {sorted(PROFILES)}"
+            )
+        _validate_overrides(kind, overrides)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "overrides", overrides)
+
+    def build(self, env: Environment, rng: np.random.Generator | None = None):
+        return make_device(env, self.kind, rng=rng, **self.overrides)
+
 
 def make_device(
     env: Environment,
@@ -114,20 +161,20 @@ def make_device(
     rng: np.random.Generator | None = None,
     **overrides,
 ):
-    """Build a device of ``kind`` ('nvme' | 'ssd' | 'hdd' | 'pmem').
+    """Build a device of ``kind`` ('nvme' | 'ssd' | 'hdd' | 'pmem' | 'zns').
 
     ``overrides`` replace any :class:`DeviceProfile` field, e.g.
-    ``make_device(env, "nvme", nqueues=16)``.
+    ``make_device(env, "nvme", nqueues=16)``.  Unknown override keys raise
+    :class:`~repro.errors.LabStorError` listing the valid keys.
     """
     try:
         profile = PROFILES[kind]
     except KeyError:
         raise ValueError(f"unknown device kind {kind!r}; choose from {sorted(PROFILES)}") from None
+    _validate_overrides(kind, overrides)
     changes = dict(overrides)
     if capacity_bytes is not None:
         changes["capacity_bytes"] = capacity_bytes
     if changes:
-        import dataclasses
-
         profile = dataclasses.replace(profile, **changes)
     return _CLASSES[kind](env, profile, rng)

@@ -56,7 +56,7 @@ def ablate_allocator(*, nthreads: int = 8, files_per_thread: int = 12,
     for allocator in ("perworker", "centralized"):
         sys_ = LabStorSystem(seed=seed, devices=("nvme",),
                              config=RuntimeConfig(nworkers=8, ncores=32))
-        spec = sys_.fs_stack_spec("fs::/a", variant="min")
+        spec = sys_.stack("fs::/a").fs(variant="min").build()
         next(n for n in spec.nodes if n.uuid.endswith("labfs")).attrs["allocator"] = allocator
         sys_.runtime.mount_stack(spec)
         ops = _writer_fleet(sys_, "fs::/a", nthreads, files_per_thread, write_size)
@@ -120,7 +120,7 @@ def ablate_consistency(*, nops: int = 40, seed: int = 0) -> list[dict]:
     rows = []
     for policy in ("strict", "standard", "relaxed"):
         sys_ = LabStorSystem(seed=seed, devices=("nvme",))
-        spec = sys_.fs_stack_spec("fs::/c", variant="min")
+        spec = sys_.stack("fs::/c").fs(variant="min").build()
         anchor = next(n for n in spec.nodes if n.uuid.endswith("labfs"))
         node = NodeSpec(mod_name="ConsistencyMod", uuid=f"abl.{policy}",
                         attrs={"policy": policy})
@@ -147,7 +147,7 @@ def ablate_cache_capacity(*, capacities=(64, 1024, 16_384), nfiles: int = 32,
     rows = []
     for cap in capacities:
         sys_ = LabStorSystem(seed=seed, devices=("nvme",))
-        spec = sys_.fs_stack_spec("fs::/l", variant="min")
+        spec = sys_.stack("fs::/l").fs(variant="min").build()
         next(n for n in spec.nodes if n.uuid.endswith("lru")).attrs["capacity_pages"] = cap
         stack = sys_.runtime.mount_stack(spec)
         gfs = GenericFS(sys_.client())

@@ -1,26 +1,36 @@
-"""E1 — I/O stack anatomy (paper Fig 4(a)).
+"""E1 — I/O stack anatomy (paper Fig 4).
 
-Reads/writes 4KB through the full Lab-All stack (Permissions, LabFS, LRU
-cache, NoOp scheduler, Kernel Driver) with a single Runtime worker and
-accumulates the per-LabMod time breakdown via trace spans.
+Reads/writes 4KB through a LabFS stack (Permissions, LabFS, LRU cache,
+NoOp scheduler, Kernel Driver) with a single Runtime worker and derives
+the per-component time breakdown from live request telemetry
+(:mod:`repro.obs`): every measured operation carries a SpanContext whose
+stamps and category totals feed both the legacy Fig 4(a) per-LabMod
+fractions and the submit/queue/module/device/completion phase anatomy.
 
 Paper shape: device I/O ~66% of a 4KB write; page cache ~17% (copying);
 IPC ~8.4%; NoOp scheduler ~5%; FS metadata ~3%; permissions ~3%;
 driver ~1%.
+
+``run_phase_anatomy`` runs the full Fig 4 matrix — Lab-All, Lab-Min,
+Lab-D, and the ext4 kernel baseline — and is what
+``python -m repro.obs.report`` drives.
 """
 
 from __future__ import annotations
 
-from ..core.requests import LabRequest
 from ..core.runtime import RuntimeConfig
+from ..devices.profiles import make_device
+from ..kernel import make_filesystem
 from ..mods.generic_fs import GenericFS
-from ..sim import SpanAccumulator
+from ..obs import Telemetry, phase_breakdown
+from ..sim import Environment
+from ..sim.sanitizer import maybe_attach
 from ..system import LabStorSystem
 from .report import format_table
 
-__all__ = ["run_anatomy", "format_anatomy"]
+__all__ = ["run_anatomy", "run_kernel_anatomy", "run_phase_anatomy", "format_anatomy"]
 
-# trace span -> paper category
+# telemetry category -> paper label
 SPAN_LABELS = {
     "device_io": "Device I/O",
     "cache": "Page cache (LRU)",
@@ -32,15 +42,24 @@ SPAN_LABELS = {
 }
 
 
-def run_anatomy(op: str = "write", nops: int = 64, bs: int = 4096, seed: int = 0) -> dict:
-    """Returns {"fractions": {label: fraction}, "total_ns": per-op ns}."""
+def run_anatomy(
+    op: str = "write", nops: int = 64, bs: int = 4096, seed: int = 0,
+    variant: str = "all",
+) -> dict:
+    """Anatomy of one LabFS stack variant, measured from request spans.
+
+    Returns the legacy keys ``fractions`` / ``total_ns_per_op`` /
+    ``span_ns`` plus ``breakdown`` (the span-derived phase anatomy of
+    :func:`repro.obs.report.phase_breakdown`) and ``variant``.
+    """
+    telemetry = Telemetry()
     sys_ = LabStorSystem(
-        seed=seed, devices=("nvme",), config=RuntimeConfig(nworkers=1, trace=True)
+        seed=seed, devices=("nvme",), config=RuntimeConfig(nworkers=1),
+        telemetry=telemetry,
     )
-    sys_.mount_fs_stack("fs::/a", variant="all", uuid_prefix="anat")
+    sys_.stack("fs::/a").fs(variant=variant).device("nvme").uuid_prefix("anat").mount()
     client = sys_.client()
     gfs = GenericFS(client)
-    acc = SpanAccumulator()
 
     def setup():
         fd = yield from gfs.open("fs::/a/target", create=True)
@@ -52,7 +71,7 @@ def run_anatomy(op: str = "write", nops: int = 64, bs: int = 4096, seed: int = 0
         return fd
 
     fd = sys_.run(sys_.process(setup()))
-    sys_.runtime.tracer.add_sink(acc)  # measure only the steady-state ops
+    telemetry.reset()  # measure only the steady-state ops
     start = sys_.env.now
 
     def measured():
@@ -65,16 +84,84 @@ def run_anatomy(op: str = "write", nops: int = 64, bs: int = 4096, seed: int = 0
 
     sys_.run(sys_.process(measured()))
     elapsed = sys_.env.now - start
+    spans = list(telemetry.spans)
+    breakdown = phase_breakdown(spans)
+    sys_.shutdown()
+
+    # legacy Fig 4(a) per-LabMod fractions, now summed from span categories
+    cats = breakdown["cats"]
     fractions = {}
-    total_spans = sum(acc.totals.get(k, 0) for k in SPAN_LABELS)
-    for span, label in SPAN_LABELS.items():
-        fractions[label] = acc.totals.get(span, 0) / total_spans if total_spans else 0.0
+    total_spans = sum(cats.get(k, 0) for k in SPAN_LABELS)
+    for cat, label in SPAN_LABELS.items():
+        fractions[label] = cats.get(cat, 0) / total_spans if total_spans else 0.0
     return {
         "op": op,
+        "variant": variant,
         "fractions": fractions,
         "total_ns_per_op": elapsed / nops,
-        "span_ns": {SPAN_LABELS[k]: v / nops for k, v in acc.totals.items() if k in SPAN_LABELS},
+        "span_ns": {SPAN_LABELS[k]: v / nops for k, v in cats.items() if k in SPAN_LABELS},
+        "breakdown": breakdown,
     }
+
+
+def run_kernel_anatomy(
+    op: str = "write", nops: int = 64, bs: int = 4096, seed: int = 0,
+    fs_name: str = "ext4",
+) -> dict:
+    """Span-derived anatomy of a kernel-FS baseline (write+fsync / read).
+
+    Writes are paired with fsync so the measured window includes the
+    device I/O a buffered write defers; reads drop the page cache each
+    iteration so every read exercises the block path.
+    """
+    env = Environment()
+    maybe_attach(env)
+    telemetry = Telemetry().install(env)
+    dev = make_device(env, "nvme")
+    fs = make_filesystem(fs_name, env, dev)
+
+    def setup():
+        fd = yield env.process(fs.open("/anat", create=True))
+        yield env.process(fs.write(fd, b"\x00" * (bs * nops), offset=0))
+        yield env.process(fs.fsync(fd))
+        return fd
+
+    fd = env.run(env.process(setup()))
+    ino = fs._fds[fd].inode.ino
+    telemetry.reset()
+    start = env.now
+
+    def measured():
+        for i in range(nops):
+            if op == "write":
+                yield env.process(fs.write(fd, b"w" * bs, offset=i * bs))
+                yield env.process(fs.fsync(fd))
+            else:
+                fs.cache.invalidate(ino)
+                yield env.process(fs.read(fd, bs, offset=i * bs))
+
+    env.run(env.process(measured()))
+    elapsed = env.now - start
+    return {
+        "op": op,
+        "fs": fs_name,
+        "total_ns_per_op": elapsed / nops,
+        "breakdown": phase_breakdown(telemetry.spans),
+    }
+
+
+def run_phase_anatomy(
+    op: str = "write", nops: int = 32, bs: int = 4096, seed: int = 0,
+) -> dict[str, dict]:
+    """The Fig 4 matrix: phase breakdowns for Lab-All, Lab-Min, Lab-D,
+    and the ext4 kernel baseline, all from live spans."""
+    results = {}
+    for variant in ("all", "min", "d"):
+        results[f"lab-{variant}"] = run_anatomy(
+            op, nops=nops, bs=bs, seed=seed, variant=variant
+        )
+    results["ext4"] = run_kernel_anatomy(op, nops=nops, bs=bs, seed=seed)
+    return results
 
 
 def format_anatomy(result: dict) -> str:

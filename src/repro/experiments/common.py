@@ -51,11 +51,11 @@ class LabFsFixture:
     @classmethod
     def build(cls, *, variant: str = "all", device: str = "nvme",
               nworkers: int = 8, policy: str = "rr", mount: str = "fs::/x",
-              config: RuntimeConfig | None = None, **stack_kw) -> "LabFsFixture":
+              config: RuntimeConfig | None = None) -> "LabFsFixture":
         cfg = config or RuntimeConfig(nworkers=nworkers, policy=policy,
                                       max_workers=max(16, nworkers))
         sys_ = LabStorSystem(devices=(device,), config=cfg)
-        sys_.mount_fs_stack(mount, variant=variant, device=device, **stack_kw)
+        sys_.stack(mount).fs(variant=variant).device(device).mount()
         return cls(system=sys_, mount=mount)
 
     def api_factory(self):
@@ -81,10 +81,10 @@ class LabKvsFixture:
 
     @classmethod
     def build(cls, *, variant: str = "all", device: str = "nvme",
-              nworkers: int = 1, mount: str = "kvs::/x", **stack_kw) -> "LabKvsFixture":
+              nworkers: int = 1, mount: str = "kvs::/x") -> "LabKvsFixture":
         cfg = RuntimeConfig(nworkers=nworkers)
         sys_ = LabStorSystem(devices=(device,), config=cfg)
-        sys_.mount_kvs_stack(mount, variant=variant, device=device, **stack_kw)
+        sys_.stack(mount).kvs(variant=variant).device(device).mount()
         return cls(system=sys_, mount=mount)
 
     def kvs(self) -> GenericKVS:

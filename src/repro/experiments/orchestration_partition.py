@@ -47,7 +47,7 @@ def run_partition(
     )
     sys_ = LabStorSystem(seed=seed, devices=("nvme",), config=cfg)
     sys_.mount_fs_stack("fs::/L", variant="min", uuid_prefix="pl")
-    spec = sys_.fs_stack_spec("fs::/C", variant="min", uuid_prefix="pc")
+    spec = sys_.stack("fs::/C").fs(variant="min").uuid_prefix("pc").build()
     # splice compression after LabFS (the C-LabStack "adds compression")
     from ..core.labstack import NodeSpec
 

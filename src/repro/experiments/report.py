@@ -1,10 +1,44 @@
-"""Plain-text table/report formatting for experiment results."""
+"""Plain-text table/report formatting + JSON/CSV export for experiment
+results.
+
+The span-derived anatomy breakdowns have richer, dedicated exporters in
+:mod:`repro.obs.report`; the helpers here serialize any plain result
+dict/row-set an experiment harness produces.
+"""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Any, Sequence
 
-__all__ = ["format_table", "format_kv", "normalize"]
+__all__ = ["format_table", "format_kv", "normalize", "results_to_json", "rows_to_csv"]
+
+
+def results_to_json(results: Any, path: str | None = None) -> str:
+    """Serialize an experiment result structure to JSON (optionally to
+    ``path``).  Non-JSON-able leaves fall back to ``str``."""
+    text = json.dumps(results, indent=2, sort_keys=True, default=str)
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                path: str | None = None) -> str:
+    """Write a header + rows table as CSV (optionally to ``path``)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    text = buf.getvalue()
+    if path:
+        with open(path, "w", encoding="utf-8", newline="") as f:
+            f.write(text)
+    return text
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],

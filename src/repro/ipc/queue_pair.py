@@ -111,6 +111,10 @@ class QueuePair:
         self.submitted_total += 1
         self.est_queued_ns += getattr(request, "est_ns", 0)
         t = self.env.tracer
+        if t.obs:
+            sc = getattr(request, "obs", None)
+            if sc is not None:
+                sc.mark_accept(self.env.now)
         if t.audit:
             self._audit("submit")
 

@@ -112,12 +112,21 @@ class BlockLayer:
         still rides the tail of this path but skips alloc+sched costs —
         see mods.drivers).
         """
+        t = self.env.tracer
+        sc = t.obs_span if t.obs else None
+        sw_ns = self.cost.blk_alloc_ns
         yield self.env.timeout(self.cost.blk_alloc_ns)
         if hctx is None:
+            sw_ns += self.scheduler.cost_ns(self.cost)
             yield self.env.timeout(self.scheduler.cost_ns(self.cost))
             hctx = self.scheduler.select_hctx(self, size, origin_core)
         yield self.env.timeout(self.cost.blk_dispatch_ns)
         req = BlockRequest(op=op, offset=offset, size=size, data=data, hctx=hctx)
+        if sc is not None:
+            # software block-layer time counts toward the span's queue
+            # phase; the device bills its own busy window via req.obs
+            sc.add_kqueue(sw_ns + self.cost.blk_dispatch_ns + self.cost.blk_complete_ns)
+            req.obs = sc
         self.inflight_bytes[hctx] += size
         self.submitted += 1
         try:

@@ -19,6 +19,7 @@ from typing import Optional
 
 from ...devices.base import BlockDevice, IoOp
 from ...errors import FsError
+from ...obs.spans import SpanContext
 from ...sim import Environment, Resource
 from ..block_layer import BlockLayer
 from ..cpu import DEFAULT_COST, CostModel
@@ -168,6 +169,37 @@ class KernelFilesystem:
             yield self.env.timeout(hold_ns)
 
     # ------------------------------------------------------------------
+    # telemetry (repro.obs)
+    # ------------------------------------------------------------------
+    def _obs_open(self, op: str):
+        """Open a kernel-syscall span and install it as the tracer's
+        *ambient* span, which the block layer reads to attribute bios.
+
+        The kernel path has no per-request plumbing (bios don't carry the
+        syscall that caused them), so attribution is via this ambient
+        slot — correct for the serial measurement loops the anatomy
+        experiment runs; concurrent syscalls would cross-bill and should
+        be measured with telemetry off.  Returns an opaque token for
+        :meth:`_obs_close` (None when telemetry is disabled).
+        """
+        t = self.env.tracer
+        if not t.obs:
+            return None
+        sc = SpanContext(op=op, now=self.env.now, kind="kernel", sync=True)
+        prev, t.obs_span = t.obs_span, sc
+        return (sc, prev)
+
+    def _obs_close(self, token) -> None:
+        if token is None:
+            return
+        sc, prev = token
+        t = self.env.tracer
+        t.obs_span = prev
+        sc.mark_complete(self.env.now)
+        sc.close(self.env.now)
+        t.emit(self.env.now, "obs.span", span=sc)
+
+    # ------------------------------------------------------------------
     # POSIX-ish operations (process generators)
     # ------------------------------------------------------------------
     def exists(self, path: str) -> bool:
@@ -218,29 +250,43 @@ class KernelFilesystem:
         """Buffered pwrite/write; returns bytes written."""
         f = self._file(fd)
         self.ops += 1
-        yield self.env.timeout(self.cost.syscall_ns + self.cost.fs_meta_ns + self.write_meta_ns)
-        pos = f.pos if offset is None else offset
-        yield self.env.process(self.cache.write(f.inode.ino, pos, data))
-        end = pos + len(data)
-        if offset is None:
-            f.pos = end
-        if end > f.inode.size:
-            f.inode.size = end
-        return len(data)
+        token = self._obs_open("fs.write")
+        try:
+            yield self.env.timeout(
+                self.cost.syscall_ns + self.cost.fs_meta_ns + self.write_meta_ns
+            )
+            if token is not None:
+                token[0].mark_dispatched(self.env.now)
+            pos = f.pos if offset is None else offset
+            yield self.env.process(self.cache.write(f.inode.ino, pos, data))
+            end = pos + len(data)
+            if offset is None:
+                f.pos = end
+            if end > f.inode.size:
+                f.inode.size = end
+            return len(data)
+        finally:
+            self._obs_close(token)
 
     def read(self, fd: int, size: int, offset: int | None = None):
         """Buffered pread/read; returns bytes (short read at EOF)."""
         f = self._file(fd)
         self.ops += 1
-        yield self.env.timeout(self.cost.syscall_ns + self.cost.fs_meta_ns)
-        pos = f.pos if offset is None else offset
-        size = max(0, min(size, f.inode.size - pos))
-        if size == 0:
-            return b""
-        data = yield self.env.process(self.cache.read(f.inode.ino, pos, size))
-        if offset is None:
-            f.pos = pos + size
-        return data
+        token = self._obs_open("fs.read")
+        try:
+            yield self.env.timeout(self.cost.syscall_ns + self.cost.fs_meta_ns)
+            if token is not None:
+                token[0].mark_dispatched(self.env.now)
+            pos = f.pos if offset is None else offset
+            size = max(0, min(size, f.inode.size - pos))
+            if size == 0:
+                return b""
+            data = yield self.env.process(self.cache.read(f.inode.ino, pos, size))
+            if offset is None:
+                f.pos = pos + size
+            return data
+        finally:
+            self._obs_close(token)
 
     def seek(self, fd: int, pos: int):
         f = self._file(fd)
@@ -257,10 +303,16 @@ class KernelFilesystem:
     def fsync(self, fd: int):
         f = self._file(fd)
         self.ops += 1
-        yield self.env.timeout(self.cost.syscall_ns)
-        yield self.env.process(self.cache.fsync(f.inode.ino))
-        if self.journal_flush:
-            yield from self.block_layer.submit_bio(IoOp.FLUSH, 0, 0)
+        token = self._obs_open("fs.fsync")
+        try:
+            yield self.env.timeout(self.cost.syscall_ns)
+            if token is not None:
+                token[0].mark_dispatched(self.env.now)
+            yield self.env.process(self.cache.fsync(f.inode.ino))
+            if self.journal_flush:
+                yield from self.block_layer.submit_bio(IoOp.FLUSH, 0, 0)
+        finally:
+            self._obs_close(token)
 
     def unlink(self, path: str):
         yield from self._enter(path)

@@ -1,0 +1,99 @@
+"""Labeled metrics registry backing the telemetry subsystem.
+
+Three metric families, all keyed by ``(name, sorted label items)``:
+
+- **counters** — monotonically increasing integers (requests, spans, ops);
+- **gauges**   — last-write-wins values (open spans, queue depths);
+- **histograms** — :class:`repro.sim.stats.Histogram` log2-bucketed
+  latency distributions (per-phase, per-device, end-to-end).
+
+The registry is deliberately dumb: the hot path never touches it — spans
+are aggregated into it only when they close (see
+:class:`repro.obs.telemetry.Telemetry`), so its cost scales with the
+number of *completed* requests, not with per-hop instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim.stats import Histogram
+
+__all__ = ["MetricsRegistry"]
+
+_Key = tuple  # (name, (label, value), ...)
+
+
+def _key(name: str, labels: dict[str, Any]) -> _Key:
+    if not labels:
+        return (name,)
+    return (name,) + tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Counters, gauges, and latency histograms with free-form labels."""
+
+    def __init__(self) -> None:
+        self._counters: dict[_Key, int] = {}
+        self._gauges: dict[_Key, float] = {}
+        self._histograms: dict[_Key, Histogram] = {}
+
+    # -- counters ---------------------------------------------------------
+    def inc(self, name: str, value: int = 1, **labels: Any) -> None:
+        k = _key(name, labels)
+        self._counters[k] = self._counters.get(k, 0) + value
+
+    def counter(self, name: str, **labels: Any) -> int:
+        return self._counters.get(_key(name, labels), 0)
+
+    # -- gauges -----------------------------------------------------------
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self._gauges[_key(name, labels)] = value
+
+    def gauge(self, name: str, **labels: Any) -> float:
+        return self._gauges.get(_key(name, labels), 0.0)
+
+    # -- histograms -------------------------------------------------------
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        k = _key(name, labels)
+        h = self._histograms.get(k)
+        if h is None:
+            h = self._histograms[k] = Histogram()
+        return h
+
+    def observe(self, name: str, value_ns: float, **labels: Any) -> None:
+        self.histogram(name, **labels).add(value_ns)
+
+    # -- export -----------------------------------------------------------
+    @staticmethod
+    def _unkey(k: _Key) -> dict[str, Any]:
+        return {"name": k[0], "labels": dict(k[1:])}
+
+    def snapshot(self) -> dict[str, list[dict[str, Any]]]:
+        """JSON-able dump of every metric."""
+        out: dict[str, list[dict[str, Any]]] = {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+        for k in sorted(self._counters):
+            out["counters"].append({**self._unkey(k), "value": self._counters[k]})
+        for k in sorted(self._gauges):
+            out["gauges"].append({**self._unkey(k), "value": self._gauges[k]})
+        for k in sorted(self._histograms):
+            h = self._histograms[k]
+            entry = {**self._unkey(k), "count": h.total}
+            if h.total:
+                entry["p50_ns"] = h.quantile(0.50)
+                entry["p99_ns"] = h.quantile(0.99)
+            out["histograms"].append(entry)
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )

@@ -1,0 +1,172 @@
+"""Breakdown reports over collected spans + JSON/CSV export + CLI.
+
+``phase_breakdown(spans)`` turns a list of closed
+:class:`~repro.obs.spans.SpanContext` objects into the paper's Fig 4
+"anatomy of an I/O request" aggregate: per-phase totals/means/fractions,
+per-LabMod service times, and the legacy per-category totals — all
+derived from measured per-request stamps, never hard-coded accounting.
+
+Run the anatomy experiment across the canonical configurations from the
+command line::
+
+    PYTHONPATH=src python -m repro.obs.report [--op write|read]
+        [--nops N] [--bs BYTES] [--seed S] [--json PATH] [--csv PATH]
+
+which prints, for each of Lab-All, Lab-Min, Lab-D, and the ext4 kernel
+baseline, a submit/queue/module/device/completion table whose components
+sum to the measured end-to-end latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+from typing import Any, Iterable
+
+from .spans import PHASES, SpanContext
+
+__all__ = [
+    "phase_breakdown",
+    "format_breakdown",
+    "breakdown_to_json",
+    "breakdown_to_csv",
+    "main",
+]
+
+
+def phase_breakdown(spans: Iterable[SpanContext]) -> dict[str, Any]:
+    """Aggregate closed spans into a Fig 4 phase breakdown.
+
+    Returns ``{"count", "e2e", "phases", "mods", "cats"}`` where every
+    ``*_ns`` figure is an exact integer total and ``mean_ns``/``fraction``
+    are derived floats.  ``phases`` components sum to ``e2e.total_ns``
+    exactly (the per-span invariant survives aggregation).
+    """
+    closed = [s for s in spans if s.closed]
+    phase_totals = dict.fromkeys(PHASES, 0)
+    e2e_total = 0
+    mods: dict[str, dict[str, Any]] = {}
+    cats: dict[str, int] = {}
+    for s in closed:
+        e2e_total += s.e2e_ns
+        for phase, ns in s.phases().items():
+            phase_totals[phase] += ns
+        for uuid, rec in s.mods.items():
+            agg = mods.setdefault(
+                uuid,
+                {"mod": rec["mod"], "count": 0,
+                 "inclusive_ns": 0, "exclusive_ns": 0, "device_ns": 0},
+            )
+            agg["count"] += rec["count"]
+            agg["inclusive_ns"] += rec["inclusive_ns"]
+            agg["exclusive_ns"] += rec["exclusive_ns"]
+            agg["device_ns"] += rec["device_ns"]
+        for name, ns in s.cats.items():
+            cats[name] = cats.get(name, 0) + ns
+    n = len(closed)
+    return {
+        "count": n,
+        "e2e": {
+            "total_ns": e2e_total,
+            "mean_ns": e2e_total / n if n else 0.0,
+        },
+        "phases": {
+            phase: {
+                "total_ns": total,
+                "mean_ns": total / n if n else 0.0,
+                "fraction": total / e2e_total if e2e_total else 0.0,
+            }
+            for phase, total in phase_totals.items()
+        },
+        "mods": mods,
+        "cats": cats,
+    }
+
+
+def format_breakdown(breakdown: dict[str, Any], title: str | None = None) -> str:
+    """Aligned ASCII table of one breakdown (phases sum printed last)."""
+    from ..experiments.report import format_table
+
+    rows = []
+    for phase in PHASES:
+        p = breakdown["phases"][phase]
+        rows.append([phase, f"{p['mean_ns']:.0f}", f"{p['fraction'] * 100:.1f}%"])
+    rows.append(["= end-to-end", f"{breakdown['e2e']['mean_ns']:.0f}", "100.0%"])
+    head = title or "Request anatomy"
+    return format_table(
+        ["Phase", "ns/req", "Fraction"],
+        rows,
+        title=f"{head} ({breakdown['count']} requests)",
+    )
+
+
+def breakdown_to_json(results: dict[str, dict[str, Any]], path: str | None = None) -> str:
+    """Serialize ``{config: breakdown}`` to JSON (optionally to ``path``)."""
+    text = json.dumps(results, indent=2, sort_keys=True)
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text
+
+
+def breakdown_to_csv(results: dict[str, dict[str, Any]], path: str | None = None) -> str:
+    """Flatten ``{config: breakdown}`` to CSV rows (config, phase, ...)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["config", "phase", "count", "total_ns", "mean_ns", "fraction"])
+    for config, bd in results.items():
+        for phase in PHASES:
+            p = bd["phases"][phase]
+            writer.writerow([
+                config, phase, bd["count"],
+                p["total_ns"], f"{p['mean_ns']:.1f}", f"{p['fraction']:.6f}",
+            ])
+        writer.writerow([
+            config, "e2e", bd["count"],
+            bd["e2e"]["total_ns"], f"{bd['e2e']['mean_ns']:.1f}", "1.000000",
+        ])
+    text = buf.getvalue()
+    if path:
+        with open(path, "w", encoding="utf-8", newline="") as f:
+            f.write(text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Span-derived Fig 4 anatomy across the canonical stacks.",
+    )
+    parser.add_argument("--op", choices=("write", "read"), default="write")
+    parser.add_argument("--nops", type=int, default=32)
+    parser.add_argument("--bs", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", help="write breakdown JSON here")
+    parser.add_argument("--csv", metavar="PATH", help="write breakdown CSV here")
+    args = parser.parse_args(argv)
+
+    # imported lazily: experiments pull in the whole system stack
+    from ..experiments.anatomy import run_phase_anatomy
+
+    results = run_phase_anatomy(
+        op=args.op, nops=args.nops, bs=args.bs, seed=args.seed
+    )
+    for config, result in results.items():
+        bd = result["breakdown"]
+        print(format_breakdown(bd, title=f"{config} — 4KB {args.op}"))
+        phase_sum = sum(p["total_ns"] for p in bd["phases"].values())
+        delta = phase_sum - bd["e2e"]["total_ns"]
+        print(f"  phase sum - e2e = {delta} ns\n")
+    if args.json:
+        breakdown_to_json({k: v["breakdown"] for k, v in results.items()}, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        breakdown_to_csv({k: v["breakdown"] for k, v in results.items()}, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

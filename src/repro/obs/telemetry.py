@@ -1,0 +1,148 @@
+"""The telemetry hub: collects spans off the Tracer pub/sub seam.
+
+Mirrors the :mod:`repro.sim.sanitizer` pattern: instrumented components
+emit ``obs.*`` trace events only when ``tracer.obs`` is armed, so with
+telemetry disabled (the default) every emission site costs a single flag
+check and zero allocations.  Arming happens either programmatically::
+
+    telemetry = Telemetry().install(env)
+    ...
+    telemetry.spans            # closed SpanContexts
+    telemetry.registry         # MetricsRegistry (counters/gauges/histograms)
+
+via ``LabStorSystem(telemetry=...)``, or for every system/experiment
+built through the facades by setting ``REPRO_TELEMETRY=1`` in the process
+environment.
+
+Event taxonomy (see DESIGN.md "Observability"):
+
+- ``obs.open``   — a request span was opened (fields: ``span``)
+- ``obs.span``   — a request span closed (fields: ``span``); the span's
+  phases/cats/mods are aggregated into the registry here
+- ``obs.device`` — one device command entered service (fields: ``device``,
+  ``hctx``, ``op``, ``size``, ``queue_ns``, ``service_ns``)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.trace import TraceEvent
+from .metrics import MetricsRegistry
+from .spans import SpanContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Environment
+
+__all__ = ["Telemetry", "TELEMETRY_ENV_VAR", "telemetry_requested", "maybe_attach"]
+
+#: set to a non-empty value (other than "0") to arm request telemetry for
+#: every system/experiment environment built by the harnesses
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+
+def telemetry_requested() -> bool:
+    return os.environ.get(TELEMETRY_ENV_VAR, "") not in ("", "0")
+
+
+def maybe_attach(env: "Environment") -> "Telemetry | None":
+    """Attach a telemetry hub to ``env`` iff ``REPRO_TELEMETRY`` is set."""
+    if not telemetry_requested():
+        return None
+    return Telemetry().install(env)
+
+
+class Telemetry:
+    """Span collector + metrics aggregator wired in as a Tracer sink.
+
+    ``keep_spans`` (default on) retains closed :class:`SpanContext`
+    objects in :attr:`spans` for breakdown reports; ``max_spans`` bounds
+    that retention on long runs (the registry keeps aggregating either
+    way, and :attr:`dropped_spans` counts what fell off).
+    """
+
+    def __init__(self, *, keep_spans: bool = True, max_spans: int = 200_000) -> None:
+        self.registry = MetricsRegistry()
+        self.keep_spans = keep_spans
+        self.max_spans = max_spans
+        self.spans: list[SpanContext] = []
+        self.dropped_spans = 0
+        self.opened_total = 0
+        self.closed_total = 0
+        self.env: Optional["Environment"] = None
+        self._open: dict[int, SpanContext] = {}  # id(span) -> span
+
+    # ------------------------------------------------------------------
+    def install(self, env: "Environment") -> "Telemetry":
+        if self.env is env:
+            return self  # already wired into this environment
+        self.env = env
+        env.tracer.obs = True
+        env.tracer.add_sink(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Tracer sink entry point
+    # ------------------------------------------------------------------
+    def __call__(self, ev: TraceEvent) -> None:
+        cat = ev.category
+        if cat == "obs.span":
+            span: SpanContext = ev.fields["span"]
+            self._open.pop(id(span), None)
+            self.closed_total += 1
+            self._ingest(span)
+        elif cat == "obs.open":
+            span = ev.fields["span"]
+            self._open[id(span)] = span
+            self.opened_total += 1
+            self.registry.inc("spans_opened", kind=span.kind)
+            self.registry.set_gauge("open_spans", len(self._open))
+        elif cat == "obs.device":
+            f = ev.fields
+            self.registry.inc("device_ops_total", device=f["device"], op=f["op"])
+            self.registry.inc("device_bytes_total", f["size"], device=f["device"])
+            self.registry.observe("device_queue_ns", f["queue_ns"], device=f["device"])
+            self.registry.observe("device_service_ns", f["service_ns"], device=f["device"])
+
+    def _ingest(self, span: SpanContext) -> None:
+        reg = self.registry
+        reg.inc("spans_closed", kind=span.kind)
+        reg.inc("requests_total", kind=span.kind, op=span.op)
+        reg.set_gauge("open_spans", len(self._open))
+        reg.observe("e2e_ns", span.e2e_ns, kind=span.kind)
+        for phase, ns in span.phases().items():
+            reg.observe(f"phase_{phase}_ns", ns, kind=span.kind)
+        if self.keep_spans:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(span)
+            else:
+                self.dropped_spans += 1
+
+    # ------------------------------------------------------------------
+    # introspection / reporting
+    # ------------------------------------------------------------------
+    def open_spans(self) -> list[SpanContext]:
+        """Spans opened but not yet closed (should be [] at quiescence)."""
+        return list(self._open.values())
+
+    def breakdown(self, spans: list[SpanContext] | None = None) -> dict:
+        """Aggregate Fig 4 phase breakdown over ``spans`` (default: all)."""
+        from .report import phase_breakdown
+
+        return phase_breakdown(self.spans if spans is None else spans)
+
+    def reset(self) -> None:
+        """Drop collected spans and metrics (e.g. after workload warm-up)."""
+        self.spans.clear()
+        self._open.clear()
+        self.dropped_spans = 0
+        self.opened_total = 0
+        self.closed_total = 0
+        self.registry.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Telemetry spans={len(self.spans)} open={len(self._open)} "
+            f"closed_total={self.closed_total}>"
+        )

@@ -32,6 +32,13 @@ class Tracer:
         #: layers emit ``san.*`` audit events.  Every emission site is
         #: gated on this flag, so the disabled-path cost is one branch.
         self.audit = False
+        #: set by :class:`repro.obs.telemetry.Telemetry`: makes the client,
+        #: queue pairs, workers, and devices thread per-request SpanContexts
+        #: and emit ``obs.*`` events.  Same one-branch discipline as audit.
+        self.obs = False
+        #: ambient span for layers with no per-request plumbing (the kernel
+        #: baseline's block layer reads the span of the syscall in progress)
+        self.obs_span = None
         self._sinks: list[Callable[[TraceEvent], None]] = []
 
     def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:

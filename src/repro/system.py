@@ -9,29 +9,38 @@ paper's canonical LabStack configurations:
 - ``Lab-D``    — Lab-Min executed synchronously in the client (no
   centralized authority / IPC on the data path).
 
-This is what the examples and every benchmark harness build on.
+Stacks are composed through the fluent :class:`~repro.builder.StackBuilder`::
+
+    sys_ = LabStorSystem()
+    stack = sys_.stack("/labfs").fs(variant="all").device("nvme").mount()
+
+The old ``fs_stack_spec``/``kvs_stack_spec`` methods still work but emit
+a :class:`DeprecationWarning`; ``mount_fs_stack``/``mount_kvs_stack``
+remain supported conveniences (they delegate to the builder).
+
+Telemetry: pass ``telemetry=True`` (or a configured
+:class:`repro.obs.Telemetry`) or set ``REPRO_TELEMETRY=1`` to record
+per-request spans; see DESIGN.md "Observability".
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterable
+import warnings
+from typing import Iterable, Optional, Union
 
+from .builder import VARIANTS, StackBuilder
 from .core.client import LabStorClient
-from .core.labstack import LabStack, NodeSpec, StackRules, StackSpec
+from .core.labstack import LabStack, StackSpec
 from .core.runtime import LabStorRuntime, RuntimeConfig
-from .devices.profiles import make_device
-from .errors import LabStorError
+from .devices.profiles import DeviceSpec, make_device
 from .kernel.cpu import DEFAULT_COST, CostModel
 from .mods import STANDARD_REPO
+from .obs.telemetry import Telemetry
+from .obs.telemetry import maybe_attach as _maybe_attach_telemetry
 from .sim import Environment, RngRegistry
 from .sim.sanitizer import maybe_attach
 
 __all__ = ["LabStorSystem", "VARIANTS"]
-
-VARIANTS = ("all", "min", "d")
-
-_uuid_seq = itertools.count(1)
 
 
 class LabStorSystem:
@@ -39,25 +48,43 @@ class LabStorSystem:
         self,
         *,
         seed: int = 0,
-        devices: Iterable[str] = ("nvme",),
+        devices: Iterable[Union[str, DeviceSpec]] = ("nvme",),
         config: RuntimeConfig | None = None,
         cost: CostModel = DEFAULT_COST,
         device_overrides: dict[str, dict] | None = None,
         env: Environment | None = None,
+        telemetry: Union[Telemetry, bool, None] = None,
     ) -> None:
         self.env = env if env is not None else Environment()
         # REPRO_SANITIZE=1 arms the invariant checker for every deployment
         # built through this facade (covers all experiment drivers)
         self.sanitizer = maybe_attach(self.env)
+        # telemetry: explicit argument wins; None defers to REPRO_TELEMETRY
+        self.telemetry: Optional[Telemetry] = None
+        if isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry.install(self.env)
+        elif telemetry is True:
+            self.telemetry = Telemetry().install(self.env)
+        elif telemetry is None:
+            self.telemetry = _maybe_attach_telemetry(self.env)
         self.rngs = RngRegistry(seed)
         self.cost = cost
-        overrides = device_overrides or {}
-        self.devices = {
-            kind: make_device(
-                self.env, kind, rng=self.rngs.stream(f"device.{kind}"), **overrides.get(kind, {})
+        if device_overrides is not None:
+            warnings.warn(
+                "device_overrides is deprecated; pass DeviceSpec entries in "
+                "`devices` instead, e.g. devices=[DeviceSpec('nvme', nqueues=16)]",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            for kind in devices
-        }
+        overrides = device_overrides or {}
+        self.devices = {}
+        for dev in devices:
+            spec = dev if isinstance(dev, DeviceSpec) else DeviceSpec(
+                dev, **overrides.get(dev, {})
+            )
+            self.devices[spec.kind] = spec.build(
+                self.env, rng=self.rngs.stream(f"device.{spec.kind}")
+            )
         self.runtime = LabStorRuntime(self.env, self.devices, cost=cost, config=config)
         self.runtime.mount_repo("standard", STANDARD_REPO)
         self._clients: list[LabStorClient] = []
@@ -65,7 +92,11 @@ class LabStorSystem:
     # ------------------------------------------------------------------
     # canonical stacks
     # ------------------------------------------------------------------
-    def fs_stack_spec(
+    def stack(self, mount: str) -> StackBuilder:
+        """Begin a fluent stack configuration rooted at ``mount``."""
+        return StackBuilder(self, mount)
+
+    def _fs_builder(
         self,
         mount: str,
         *,
@@ -77,37 +108,20 @@ class LabStorSystem:
         uuid_prefix: str | None = None,
         capacity_bytes: int | None = None,
         nworkers: int = 8,
-    ) -> StackSpec:
-        """Build the spec for one of the paper's LabFS stack variants."""
-        if variant not in VARIANTS:
-            raise LabStorError(f"variant must be one of {VARIANTS}")
-        u = uuid_prefix or f"s{next(_uuid_seq)}"
-        dev = self.devices[device]
-        cap = capacity_bytes or dev.profile.capacity_bytes
-        nodes: list[NodeSpec] = []
-        chain: list[str] = []
+    ) -> StackBuilder:
+        b = (
+            self.stack(mount)
+            .fs(variant=variant, capacity_bytes=capacity_bytes, nworkers=nworkers)
+            .device(device)
+            .driver(driver)
+            .cache(cache)
+            .sched(sched)
+        )
+        if uuid_prefix:
+            b.uuid_prefix(uuid_prefix)
+        return b
 
-        def add(mod_name: str, uuid: str, attrs: dict) -> None:
-            nodes.append(NodeSpec(mod_name=mod_name, uuid=uuid, attrs=attrs))
-            chain.append(uuid)
-
-        if variant == "all":
-            add("PermissionsMod", f"{u}.perm", {})
-        add("LabFs", f"{u}.labfs", {"capacity_bytes": cap, "nworkers": nworkers, "device": device})
-        if cache:
-            add("LruCacheMod", f"{u}.lru", {})
-        if sched:
-            sched_attrs = {"nqueues": dev.nqueues}
-            if sched == "BlkSwitchSchedMod":
-                sched_attrs = {"device": device}
-            add(sched, f"{u}.sched", sched_attrs)
-        add(driver, f"{u}.driver", {"device": device})
-        for i in range(len(nodes) - 1):
-            nodes[i].outputs = [nodes[i + 1].uuid]
-        exec_mode = "sync" if variant == "d" else "async"
-        return StackSpec(mount=mount, nodes=nodes, rules=StackRules(exec_mode=exec_mode))
-
-    def kvs_stack_spec(
+    def _kvs_builder(
         self,
         mount: str,
         *,
@@ -118,39 +132,43 @@ class LabStorSystem:
         uuid_prefix: str | None = None,
         capacity_bytes: int | None = None,
         nworkers: int = 8,
-    ) -> StackSpec:
-        """The paper's LabKVS stacks: [Permissions,] LabKVS, NoOp, Driver."""
-        if variant not in VARIANTS:
-            raise LabStorError(f"variant must be one of {VARIANTS}")
-        u = uuid_prefix or f"s{next(_uuid_seq)}"
-        dev = self.devices[device]
-        cap = capacity_bytes or dev.profile.capacity_bytes
-        nodes: list[NodeSpec] = []
-        if variant == "all":
-            nodes.append(NodeSpec(mod_name="PermissionsMod", uuid=f"{u}.perm", attrs={}))
-        nodes.append(
-            NodeSpec(
-                mod_name="LabKvs",
-                uuid=f"{u}.labkvs",
-                attrs={"capacity_bytes": cap, "nworkers": nworkers},
-            )
+    ) -> StackBuilder:
+        b = (
+            self.stack(mount)
+            .kvs(variant=variant, capacity_bytes=capacity_bytes, nworkers=nworkers)
+            .device(device)
+            .driver(driver)
+            .sched(sched)
         )
-        if sched:
-            sched_attrs = {"nqueues": dev.nqueues}
-            if sched == "BlkSwitchSchedMod":
-                sched_attrs = {"device": device}
-            nodes.append(NodeSpec(mod_name=sched, uuid=f"{u}.sched", attrs=sched_attrs))
-        nodes.append(NodeSpec(mod_name=driver, uuid=f"{u}.driver", attrs={"device": device}))
-        for i in range(len(nodes) - 1):
-            nodes[i].outputs = [nodes[i + 1].uuid]
-        exec_mode = "sync" if variant == "d" else "async"
-        return StackSpec(mount=mount, nodes=nodes, rules=StackRules(exec_mode=exec_mode))
+        if uuid_prefix:
+            b.uuid_prefix(uuid_prefix)
+        return b
+
+    def fs_stack_spec(self, mount: str, **kw) -> StackSpec:
+        """Deprecated: use ``system.stack(mount).fs(...)...build()``."""
+        warnings.warn(
+            "LabStorSystem.fs_stack_spec() is deprecated; use "
+            "system.stack(mount).fs(...).device(...).build() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._fs_builder(mount, **kw).build()
+
+    def kvs_stack_spec(self, mount: str, **kw) -> StackSpec:
+        """Deprecated: use ``system.stack(mount).kvs(...)...build()``."""
+        warnings.warn(
+            "LabStorSystem.kvs_stack_spec() is deprecated; use "
+            "system.stack(mount).kvs(...).device(...).build() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._kvs_builder(mount, **kw).build()
 
     def mount_fs_stack(self, mount: str, **kw) -> LabStack:
-        return self.runtime.mount_stack(self.fs_stack_spec(mount, **kw))
+        return self._fs_builder(mount, **kw).mount()
 
     def mount_kvs_stack(self, mount: str, **kw) -> LabStack:
-        return self.runtime.mount_stack(self.kvs_stack_spec(mount, **kw))
+        return self._kvs_builder(mount, **kw).mount()
 
     # ------------------------------------------------------------------
     def client(self, ordered: bool = True) -> LabStorClient:
@@ -159,6 +177,28 @@ class LabStorSystem:
         self.env.run(self.env.process(c.connect(ordered=ordered)))
         self._clients.append(c)
         return c
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Tear the deployment down: drain in-flight work, close every
+        client, and stop the Runtime's daemon pollers.
+
+        After shutdown the simulation holds no live daemon processes from
+        this system, so repeated build/measure cycles (the anatomy
+        experiment, parameter sweeps) cannot accumulate pollers.
+        """
+        if drain:
+            for c in self._clients:
+                if c.conn is not None:
+                    self.env.run(c.conn.qp.drained())
+        for c in self._clients:
+            c.close()
+        self._clients.clear()
+        self.runtime.shutdown()
+        # unwind the interrupts delivered above (they are scheduled as
+        # immediate events); without this the dead processes would only
+        # clean up on the next unrelated env.run()
+        while self.env._heap and self.env.peek() <= self.env.now:
+            self.env.step()
 
     def run(self, *args, **kw):
         return self.env.run(*args, **kw)

@@ -10,7 +10,7 @@ from repro.units import KiB
 
 def make(policy="back", capacity_pages=16_384):
     sys_ = LabStorSystem(devices=("nvme",))
-    spec = sys_.fs_stack_spec("fs::/wb", variant="min")
+    spec = sys_.stack("fs::/wb").fs(variant="min").build()
     lru = next(n for n in spec.nodes if n.uuid.endswith("lru"))
     lru.attrs.update({"write_policy": policy, "capacity_pages": capacity_pages})
     stack = sys_.runtime.mount_stack(spec)

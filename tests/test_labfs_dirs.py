@@ -53,7 +53,7 @@ def test_create_autocreates_parents_by_default():
 
 def test_strict_paths_requires_parent():
     sys_ = LabStorSystem(devices=("nvme",))
-    spec = sys_.fs_stack_spec("fs::/s", variant="min")
+    spec = sys_.stack("fs::/s").fs(variant="min").build()
     next(n for n in spec.nodes if n.uuid.endswith("labfs")).attrs["strict_paths"] = True
     sys_.runtime.mount_stack(spec)
     gfs = GenericFS(sys_.client())
@@ -157,7 +157,7 @@ def test_state_repair_rebuilds_directory_tree():
 
 # --- prefetcher --------------------------------------------------------------
 def _mount_with_prefetch(sys_):
-    spec = sys_.fs_stack_spec("fs::/p", variant="min")
+    spec = sys_.stack("fs::/p").fs(variant="min").build()
     fs_node = next(n for n in spec.nodes if n.uuid.endswith("labfs"))
     node = NodeSpec(mod_name="PrefetchMod", uuid="pf0", attrs={"window": 64 * KiB})
     node.outputs = list(fs_node.outputs)

@@ -13,7 +13,7 @@ from repro.system import LabStorSystem
 
 
 def _mount_with_insert(sys_, mount, mod_name, uuid, attrs=None, after="labfs"):
-    spec = sys_.fs_stack_spec(mount, variant="min")
+    spec = sys_.stack(mount).fs(variant="min").build()
     anchor = next(n for n in spec.nodes if n.uuid.endswith(after))
     node = NodeSpec(mod_name=mod_name, uuid=uuid, attrs=attrs or {})
     node.outputs = list(anchor.outputs)
@@ -179,7 +179,7 @@ def test_centralized_allocator_serializes_under_concurrency():
 
 def test_labfs_with_centralized_allocator_still_correct():
     sys_ = LabStorSystem(devices=("nvme",))
-    spec = sys_.fs_stack_spec("fs::/c", variant="min")
+    spec = sys_.stack("fs::/c").fs(variant="min").build()
     labfs_node = next(n for n in spec.nodes if n.uuid.endswith("labfs"))
     labfs_node.attrs["allocator"] = "centralized"
     sys_.runtime.mount_stack(spec)
@@ -201,7 +201,7 @@ def test_perworker_outscales_centralized_allocator():
 
         sys_ = LabStorSystem(devices=("nvme",),
                              config=RuntimeConfig(nworkers=8, ncores=32))
-        spec = sys_.fs_stack_spec("fs::/a", variant="min")
+        spec = sys_.stack("fs::/a").fs(variant="min").build()
         next(n for n in spec.nodes if n.uuid.endswith("labfs")).attrs["allocator"] = allocator
         sys_.runtime.mount_stack(spec)
 

@@ -221,7 +221,7 @@ def test_blkswitch_small_requests_confined_to_latency_lane():
 # --- compression ---------------------------------------------------------
 def test_compression_roundtrip_through_stack():
     sys_ = LabStorSystem(devices=("nvme",))
-    spec = sys_.fs_stack_spec("fs::/c", variant="min")
+    spec = sys_.stack("fs::/c").fs(variant="min").build()
     # splice a compression stage between LabFS and the cache
     fs_node = next(n for n in spec.nodes if "labfs" in n.uuid)
     from repro.core import NodeSpec

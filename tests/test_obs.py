@@ -1,0 +1,181 @@
+"""Tests for repro.obs: span lifecycle, phase-sum invariant, metrics."""
+
+import pytest
+
+from repro.core.runtime import RuntimeConfig
+from repro.devices.profiles import make_device
+from repro.kernel import make_filesystem
+from repro.mods.generic_fs import GenericFS
+from repro.obs import PHASES, MetricsRegistry, SpanContext, Telemetry, phase_breakdown
+from repro.sim import Environment
+from repro.system import LabStorSystem
+
+
+def _lab_system(variant, telemetry):
+    sys_ = LabStorSystem(
+        devices=("nvme",), config=RuntimeConfig(nworkers=1), telemetry=telemetry
+    )
+    sys_.stack("fs::/t").fs(variant=variant).device("nvme").uuid_prefix("obs").mount()
+    return sys_
+
+
+def _run_io(sys_, nops=6, bs=4096):
+    gfs = GenericFS(sys_.client())
+
+    def scenario():
+        fd = yield from gfs.open("fs::/t/f", create=True)
+        for i in range(nops):
+            yield from gfs.write(fd, b"w" * bs, offset=i * bs)
+        for i in range(nops):
+            yield from gfs.read(fd, bs, offset=i * bs)
+        yield from gfs.close(fd)
+
+    sys_.run(sys_.process(scenario()))
+
+
+# ---------------------------------------------------------------------------
+# span lifecycle + the exact phase-sum invariant
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("variant", ["all", "min", "d"])
+def test_every_span_closes_and_phases_sum_exactly(variant):
+    telemetry = Telemetry()
+    sys_ = _lab_system(variant, telemetry)
+    _run_io(sys_)
+    assert telemetry.opened_total > 0
+    assert telemetry.opened_total == telemetry.closed_total
+    assert telemetry.open_spans() == []
+    for span in telemetry.spans:
+        assert span.closed
+        # the ISSUE's acceptance bound is 1 ns; the implementation is exact
+        assert abs(sum(span.phases().values()) - span.e2e_ns) <= 1
+        assert all(v >= 0 for v in span.phases().values())
+        assert span.sync == (variant == "d")
+    sys_.shutdown()
+
+
+def test_kernel_fs_spans_close_and_sum():
+    env = Environment()
+    telemetry = Telemetry().install(env)
+    fs = make_filesystem("ext4", env, make_device(env, "nvme"))
+
+    def scenario():
+        fd = yield env.process(fs.open("/f", create=True))
+        yield env.process(fs.write(fd, b"x" * 8192, offset=0))
+        yield env.process(fs.fsync(fd))
+        ino = fs._fds[fd].inode.ino
+        fs.cache.invalidate(ino)
+        yield env.process(fs.read(fd, 8192, offset=0))
+
+    env.run(env.process(scenario()))
+    assert telemetry.open_spans() == []
+    kinds = {s.kind for s in telemetry.spans}
+    assert kinds == {"kernel"}
+    devices = 0
+    for span in telemetry.spans:
+        assert abs(sum(span.phases().values()) - span.e2e_ns) <= 1
+        devices += span.phases()["device"]
+    # the fsync + uncached read must have billed real device time
+    assert devices > 0
+
+
+def test_phase_breakdown_aggregate_preserves_sum():
+    telemetry = Telemetry()
+    sys_ = _lab_system("all", telemetry)
+    _run_io(sys_)
+    bd = phase_breakdown(telemetry.spans)
+    assert bd["count"] == len(telemetry.spans) > 0
+    phase_sum = sum(bd["phases"][p]["total_ns"] for p in PHASES)
+    assert phase_sum == bd["e2e"]["total_ns"]
+    assert bd["mods"], "per-LabMod frames should be recorded"
+    sys_.shutdown()
+
+
+def test_device_windows_overlap_merged():
+    sc = SpanContext(op="x", now=0)
+    sc.mark_dispatched(0)
+    sc.add_device_window(10, 50)
+    sc.add_device_window(30, 70)   # overlaps the first
+    sc.add_device_window(90, 100)  # disjoint
+    sc.mark_complete(200)
+    sc.close(200)
+    assert sc.device_ns == (70 - 10) + (100 - 90)
+
+
+def test_late_records_after_close_are_ignored():
+    sc = SpanContext(op="x", now=0)
+    sc.mark_dispatched(0)
+    sc.mark_complete(100)
+    sc.close(100)
+    sc.add_cat("cache", 50)
+    sc.add_device_window(0, 60)
+    sc.add_kqueue(10)
+    assert sc.cats == {}
+    assert sc.device_ns == 0
+    assert sc.kqueue_ns == 0
+
+
+# ---------------------------------------------------------------------------
+# disabled path: no allocations, no spans
+# ---------------------------------------------------------------------------
+def test_disabled_telemetry_allocates_no_spans():
+    sys_ = LabStorSystem(devices=("nvme",), config=RuntimeConfig(nworkers=1))
+    sys_.stack("fs::/t").fs(variant="all").uuid_prefix("obs").mount()
+    client = sys_.client()
+    gfs = GenericFS(client)
+
+    captured = []
+
+    def scenario():
+        fd = yield from gfs.open("fs::/t/f", create=True)
+        yield from gfs.write(fd, b"w" * 4096, offset=0)
+        return fd
+
+    sys_.run(sys_.process(scenario()))
+    assert sys_.telemetry is None
+    assert not sys_.env.tracer.obs
+    assert not captured
+    sys_.shutdown()
+
+
+def test_env_var_arms_telemetry(monkeypatch):
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    sys_ = LabStorSystem(devices=("nvme",))
+    assert sys_.telemetry is not None
+    assert sys_.env.tracer.obs
+    monkeypatch.setenv("REPRO_TELEMETRY", "0")
+    sys2 = LabStorSystem(devices=("nvme",))
+    assert sys2.telemetry is None
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+def test_metrics_registry_counters_and_histograms():
+    reg = MetricsRegistry()
+    reg.inc("reqs", op="write")
+    reg.inc("reqs", 2, op="write")
+    reg.inc("reqs", op="read")
+    reg.set_gauge("open", 3)
+    for v in (100, 200, 300):
+        reg.observe("lat_ns", v, op="write")
+    assert reg.counter("reqs", op="write") == 3
+    assert reg.counter("reqs", op="read") == 1
+    assert reg.gauge("open") == 3
+    h = reg.histogram("lat_ns", op="write")
+    assert h.total == 3
+    snap = reg.snapshot()
+    assert any(c["name"] == "reqs" for c in snap["counters"])
+    assert any(hh["count"] == 3 for hh in snap["histograms"])
+    reg.reset()
+    assert reg.counter("reqs", op="write") == 0
+
+
+def test_telemetry_registry_populated_by_requests():
+    telemetry = Telemetry()
+    sys_ = _lab_system("all", telemetry)
+    _run_io(sys_, nops=3)
+    reg = telemetry.registry
+    assert reg.counter("requests_total", kind="lab", op="fs.write") == 3
+    assert reg.histogram("e2e_ns", kind="lab").total == telemetry.closed_total
+    assert reg.counter("device_ops_total", device="nvme", op="write") > 0
+    sys_.shutdown()

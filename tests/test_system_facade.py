@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.devices.profiles import DeviceSpec
 from repro.errors import LabStorError, StackValidationError
 from repro.system import LabStorSystem, VARIANTS
 
@@ -17,8 +18,14 @@ def test_multiple_devices():
     assert set(sys_.devices) == {"nvme", "pmem", "hdd"}
 
 
-def test_device_overrides_apply():
-    sys_ = LabStorSystem(devices=("nvme",), device_overrides={"nvme": {"nqueues": 16}})
+def test_device_spec_overrides_apply():
+    sys_ = LabStorSystem(devices=[DeviceSpec("nvme", nqueues=16)])
+    assert sys_.devices["nvme"].nqueues == 16
+
+
+def test_device_overrides_dict_deprecated_but_working():
+    with pytest.warns(DeprecationWarning, match="device_overrides"):
+        sys_ = LabStorSystem(devices=("nvme",), device_overrides={"nvme": {"nqueues": 16}})
     assert sys_.devices["nvme"].nqueues == 16
 
 
@@ -44,7 +51,7 @@ def test_kvs_stack_has_no_cache():
 def test_invalid_variant_rejected():
     sys_ = LabStorSystem()
     with pytest.raises(LabStorError, match="variant"):
-        sys_.fs_stack_spec("fs::/x", variant="turbo")
+        sys_.stack("fs::/x").fs(variant="turbo")
 
 
 def test_blkswitch_sched_option():
