@@ -1,0 +1,85 @@
+"""Fault-injection overhead: no plan must cost only a None check.
+
+Runs the same GenericFS workload with no FaultPlan and with an armed
+plan whose specs can never fire (a media_error pinned to t=1e18 ns), and
+asserts the unarmed path leaves every seam on its fast path: no device
+injector, no QP reject hook, no fault engine.  The armed-but-idle delta
+is recorded in ``extra_info`` and must stay within a few percent — the
+per-request cost is one attribute check at the device and one at the SQ.
+"""
+
+import time
+
+from repro.core.runtime import RuntimeConfig
+from repro.faults import FaultPlan, FaultSpec
+from repro.mods.generic_fs import GenericFS
+from repro.system import LabStorSystem
+
+NOPS = 256
+BS = 4096
+
+#: armed but inert: fires at ~31.7 virtual years
+NEVER_PLAN = FaultPlan.of(
+    FaultSpec(kind="media_error", device="nvme", op="write", at=10**18)
+)
+
+
+def _run_workload(plan):
+    sys_ = LabStorSystem(
+        devices=("nvme",), config=RuntimeConfig(nworkers=1), fault_plan=plan
+    )
+    sys_.stack("fs::/b").fs(variant="all").device("nvme").uuid_prefix("bench").mount()
+    gfs = GenericFS(sys_.client())
+
+    def scenario():
+        fd = yield from gfs.open("fs::/b/f", create=True)
+        for i in range(NOPS):
+            yield from gfs.write(fd, b"w" * BS, offset=i * BS)
+        for i in range(NOPS):
+            yield from gfs.read(fd, BS, offset=i * BS)
+
+    t0 = time.perf_counter()
+    sys_.run(sys_.process(scenario()))
+    wall = time.perf_counter() - t0
+    vnow = sys_.env.now
+    sys_.shutdown()
+    return wall, vnow, sys_
+
+
+def test_bench_faults_overhead(benchmark):
+    def once():
+        # interleave off/on pairs and keep the best of each so a host
+        # scheduling hiccup can't skew one side
+        best_off = best_on = float("inf")
+        vt_off = vt_on = None
+        for _ in range(3):
+            w, v, sys_off = _run_workload(None)
+            best_off = min(best_off, w)
+            vt_off = v
+            assert sys_off.faults is None
+            assert sys_off.devices["nvme"].faults is None
+
+            w, v, sys_on = _run_workload(NEVER_PLAN)
+            best_on = min(best_on, w)
+            vt_on = v
+            assert sys_on.faults is not None
+            assert sys_on.faults.total_injected == 0  # armed, never fired
+        return best_off, best_on, vt_off, vt_on
+
+    best_off, best_on, vt_off, vt_on = benchmark.pedantic(once, rounds=1, iterations=1)
+
+    # an idle plan is passive: armed or not, the simulated timeline is identical
+    assert vt_off == vt_on
+
+    per_op_off_us = best_off / (2 * NOPS) * 1e6
+    per_op_on_us = best_on / (2 * NOPS) * 1e6
+    delta_pct = (best_on - best_off) / best_off * 100
+    benchmark.extra_info["per_op_off_us"] = round(per_op_off_us, 2)
+    benchmark.extra_info["per_op_on_us"] = round(per_op_on_us, 2)
+    benchmark.extra_info["armed_idle_delta_pct"] = round(delta_pct, 1)
+    # generous bound: host noise dwarfs the two attribute checks
+    assert delta_pct < 15.0
+    print(
+        f"\nfaults off: {per_op_off_us:.2f} us/op   "
+        f"armed-idle: {per_op_on_us:.2f} us/op   (delta {delta_pct:+.1f}%)"
+    )

@@ -2,9 +2,12 @@
 """Crash recovery: the Runtime dies mid-workload and comes back.
 
 LabFS keeps no on-disk inodes — the in-memory inode hashmap is rebuilt
-from the per-worker metadata log (StateRepair).  Clients detect the dead
-Runtime in Wait, park until the administrator restarts it, and continue;
-requests already in the shared-memory queues survive.
+from the per-worker metadata log (StateRepair).  ``Runtime.crash()``
+calls every LabMod's ``on_crash()`` hook, which drops exactly the state
+that would die with the process (the example used to reach into LabFS
+and wipe the hashmaps by hand).  Clients detect the dead Runtime in
+Wait, park until the administrator restarts it, and continue; requests
+already in the shared-memory queues survive.
 
 Run:  python examples/crash_recovery.py
 """
@@ -31,12 +34,13 @@ def main() -> None:
     print(f"wrote 20 files; LabFS log holds {labfs.log.record_count()} records")
 
     # --- the Runtime crashes ------------------------------------------------
+    # crash() invokes LabFs.on_crash(): the volatile inode hashmap is gone
+    # (only the implicit root survives, as after a real power cut + mkfs-less
+    # remount); the durable metadata log and device blocks are untouched.
     system.runtime.crash()
-    # simulate the in-memory state being lost with the process
-    labfs.inodes.clear()
-    labfs.by_path.clear()
-    print("runtime CRASHED; LabFS inode hashmap wiped "
-          f"({len(labfs.inodes)} inodes in memory)")
+    assert len(labfs.inodes) == 1, "on_crash should leave only the root inode"
+    print("runtime CRASHED; LabFS inode hashmap wiped by on_crash() "
+          f"({len(labfs.inodes)} inode left: the root)")
 
     survived = {}
 

@@ -59,6 +59,7 @@ class StackBuilder:
         self._uuid_prefix: Optional[str] = None
         self._capacity_bytes: Optional[int] = None
         self._nworkers = 8
+        self._faults = None                   # FaultPlan | str | None
 
     # -- stack kind -------------------------------------------------------
     def fs(self, *, variant: str = "all", capacity_bytes: int | None = None,
@@ -108,6 +109,13 @@ class StackBuilder:
 
     def uuid_prefix(self, prefix: str) -> "StackBuilder":
         self._uuid_prefix = prefix
+        return self
+
+    def faults(self, plan) -> "StackBuilder":
+        """Arm a :class:`repro.faults.FaultPlan` (or its text form) when
+        the stack mounts.  Installation is deferred to :meth:`mount` so
+        plans scoped by ``module=`` can resolve the stack's LabMod uuids."""
+        self._faults = plan
         return self
 
     # -- terminal operations ----------------------------------------------
@@ -164,4 +172,7 @@ class StackBuilder:
 
     def mount(self) -> LabStack:
         """Build the spec and mount it into the system's Runtime."""
-        return self._system.runtime.mount_stack(self.build())
+        stack = self._system.runtime.mount_stack(self.build())
+        if self._faults is not None:
+            self._system.install_faults(self._faults)
+        return stack

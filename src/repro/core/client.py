@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Any
 
-from ..errors import LabStorError, RuntimeCrashed
+from ..errors import LabStorError, RuntimeCrashed, TimeoutError
 from ..obs.spans import SpanContext
 from ..sim import Environment, Interrupt
 from .labstack import LabStack
@@ -118,9 +118,14 @@ class LabStorClient:
         return self.runtime.namespace.get_by_id(stack_id)
 
     # ------------------------------------------------------------------
-    def call(self, stack: LabStack, req: LabRequest):
+    def call(self, stack: LabStack, req: LabRequest, timeout_ns: int | None = None):
         """Process generator: execute ``req`` against ``stack`` and return
-        the completion value.  Chooses sync/async by the stack's rules."""
+        the completion value.  Chooses sync/async by the stack's rules.
+
+        ``timeout_ns`` bounds the async wait: past the deadline the call
+        raises :class:`~repro.errors.TimeoutError` and fails the pending
+        completion event instead of hanging — a late completion for the
+        abandoned request is dropped by the poller."""
         req.stack_id = stack.stack_id
         req.client_pid = self.pid
         req.submit_ns = self.env.now
@@ -150,10 +155,21 @@ class LabStorClient:
             raise LabStorError(f"client {self.pid} not connected")
         req.mod_uuid = stack.entry.uuid
         req.est_ns = stack.entry.est_processing_time(req)
+        deadline = self.env.now + timeout_ns if timeout_ns is not None else None
         ev = self.env.event()
         self._pending[req.req_id] = ev
-        self.conn.qp.submit(req, pid=self.pid)
-        comp = yield from self._wait(ev)
+        try:
+            self.conn.qp.submit(req, pid=self.pid)
+            comp = yield from self._wait(ev, deadline)
+        except BaseException as exc:
+            # abandoned request: forget it so a late completion is dropped
+            self._pending.pop(req.req_id, None)
+            if isinstance(exc, TimeoutError) and not ev.triggered:
+                ev.fail(exc)  # defused by the stale wait condition
+            if sc is not None:
+                sc.close(self.env.now)
+                t.emit(self.env.now, "obs.span", span=sc)
+            raise
         # completion-side cross-core hop (the submit-side hop is traced by
         # the worker's pop); charged in _poll_completions, attributed here
         self.runtime.tracer.emit(
@@ -175,15 +191,21 @@ class LabStorClient:
         return self.call(stack, req)
 
     # ------------------------------------------------------------------
-    def _wait(self, ev):
+    def _wait(self, ev, deadline: int | None = None):
         """Wait with crash detection (the paper's Wait): poll for the
-        completion, periodically checking whether the Runtime died."""
+        completion, periodically checking whether the Runtime died.
+        ``deadline`` (absolute ns) caps the wait with a TimeoutError."""
         while True:
             if not self.runtime.online:
                 yield from self._ride_out_crash()
-            result = yield self.env.any_of(
-                [ev, self.env.timeout(self.runtime.config.restart_wait_ns)]
-            )
+            window = self.runtime.config.restart_wait_ns
+            if deadline is not None:
+                if self.env.now >= deadline:
+                    raise TimeoutError(
+                        f"client {self.pid}: no completion within the op timeout"
+                    )
+                window = min(window, deadline - self.env.now)
+            result = yield self.env.any_of([ev, self.env.timeout(window)])
             if ev in result:
                 return ev.value
             # timed out: loop re-checks runtime liveness before waiting again

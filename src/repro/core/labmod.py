@@ -168,6 +168,14 @@ class LabMod(abc.ABC):
         self.processed = old.processed
         self.version = old.version + 1
 
+    def on_crash(self) -> None:
+        """The Runtime just died: drop volatile (in-memory) state.
+
+        Durable structures — metadata logs, allocators, device contents —
+        must survive; :meth:`state_repair` rebuilds the volatile side from
+        them at restart.  Default: stateless, nothing to lose.
+        """
+
     def state_repair(self) -> None:
         """Repair state after a Runtime crash (default: nothing to do)."""
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 from typing import Callable
 
+from ..errors import LabStorError
 from ..ipc.queue_pair import QueuePair
 from ..kernel.cpu import Cpu
 from ..sim import Environment, Interrupt
@@ -169,7 +170,7 @@ class WorkOrchestrator:
     # -- worker pool ------------------------------------------------------
     def spawn_worker(self) -> Worker:
         if len(self.workers) >= self.max_workers:
-            raise ValueError("worker pool at max_workers")
+            raise LabStorError("worker pool at max_workers")
         w = Worker(
             self.env,
             self._next_worker_id,
@@ -200,6 +201,25 @@ class WorkOrchestrator:
             # Immediately hand the retiree's queues to the survivors; waiting
             # for the next epoch would strand them for up to interval_ns.
             self.rebalance()
+
+    def crash_worker(self, worker: Worker, cause: str = "worker crash") -> Worker | None:
+        """Kill ``worker`` immediately (fault injection): its in-flight
+        requests complete with errors, its queues move to a freshly spawned
+        replacement.  Returns the replacement (None while the Runtime is
+        down — a crashed system respawns its pool on restart instead)."""
+        self.workers.remove(worker)
+        busy = worker.core.busy_time()
+        prev = self._prev_busy.pop(worker.worker_id, busy)
+        self._retired_busy_ns += busy - prev
+        for qp in list(worker.queues):
+            worker.unassign(qp)
+        worker.crash(cause)
+        self.cpu.unpin(worker.core_id)
+        if self.paused:
+            return None
+        replacement = self.spawn_worker()
+        self.rebalance()
+        return replacement
 
     # -- queue registration -------------------------------------------------
     def register_queue(self, qp: QueuePair) -> None:

@@ -113,6 +113,7 @@ class LabStorRuntime:
         self.ipc.on_connect(self.orchestrator.on_client_connect)
         self.online = True
         self.crashes = 0
+        self._crash_ns: int | None = None
         self._online_waiters: list = []
         self._restart_callbacks: list = []
         self._admin = env.process(self._admin_loop(), name="runtime-admin", daemon=True)
@@ -203,14 +204,23 @@ class LabStorRuntime:
     # crash / restart (Section III-C3)
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """Kill the Runtime: workers die; shared-memory queues survive."""
+        """Kill the Runtime: workers die; shared-memory queues survive.
+        Every mounted LabMod loses its volatile state via ``on_crash``
+        (durable structures — metadata logs, allocators, device contents —
+        survive and seed :meth:`state_repair` at restart)."""
         if not self.online:
             raise LabStorError("runtime already offline")
         self.online = False
         self.crashes += 1
+        self._crash_ns = self.env.now
         self.orchestrator.paused = True
         for w in list(self.orchestrator.workers):
             self.orchestrator.decommission_worker(w)
+        for uuid in self.registry.uuids():
+            self.registry.get(uuid).on_crash()
+        t = self.tracer
+        if t.enabled:
+            t.emit(self.env.now, "fault.runtime", action="crash", crashes=self.crashes)
 
     def restart(self):
         """Process generator: bring the Runtime back; queues reattach and
@@ -225,6 +235,10 @@ class LabStorRuntime:
             self.registry.get(uuid).state_repair()
         self.online = True
         self.orchestrator.rebalance()
+        t = self.tracer
+        if t.enabled:
+            recovery = self.env.now - self._crash_ns if self._crash_ns is not None else 0
+            t.emit(self.env.now, "fault.runtime", action="restart", recovery_ns=recovery)
         waiters, self._online_waiters = self._online_waiters, []
         for ev in waiters:
             ev.succeed()

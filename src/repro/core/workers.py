@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator
 
+from ..errors import WorkerCrashed
 from ..ipc.queue_pair import Completion, QueueFlag, QueuePair
 from ..kernel.cpu import Cpu
 from ..sim import Environment, Interrupt
@@ -59,10 +60,12 @@ class Worker:
 
         self.queues: list[QueuePair] = []
         self.running = True
+        self.crashed = False
         self.processed = 0
         self.failed = 0
         self.inflight = 0
         self._inflight_per_qp: dict[int, int] = {}
+        self._active: dict[int, object] = {}  # req_id -> request process
         self._rr = 0
         self._last_work_ns = env.now
         # awake-time accounting (CPU a busy-polling worker burns)
@@ -96,6 +99,17 @@ class Worker:
         """Stop after finishing in-flight work (orchestrator scale-down)."""
         self.running = False
         self.kick()
+
+    def crash(self, cause: str = "worker crash") -> None:
+        """Die *now*: in-flight requests are interrupted and complete with
+        :class:`~repro.errors.WorkerCrashed` errors rather than vanishing,
+        so the queue-pair conservation invariant keeps holding."""
+        self.crashed = True
+        self.running = False
+        self.kick()
+        for proc in list(self._active.values()):
+            if proc.is_alive:
+                proc.interrupt(cause)
 
     # ------------------------------------------------------------------
     # accounting
@@ -143,9 +157,10 @@ class Worker:
                 # holds before the request process gets its first step
                 self.inflight += 1
                 self._inflight_per_qp[qp.qid] = self._inflight_per_qp.get(qp.qid, 0) + 1
-                self.env.process(
+                proc = self.env.process(
                     self._run_request(qp, req), name=f"w{self.worker_id}.req{req.req_id}"
                 )
+                self._active[req.req_id] = proc
                 return True
         return False
 
@@ -196,19 +211,32 @@ class Worker:
         if sc is not None:
             sc.mark_pop(self.env.now)
             x.sc = sc
-        # the cross-core pop of the request payload
-        yield from x.work(qp.pop_cost_ns, span="ipc")
-        # request handling: parse, namespace/registry lookups, bookkeeping
-        yield from x.work(self.cpu.cost.runtime_request_ns, span="runtime")
         error = None
         value = None
         try:
-            value = yield from self.executor(req, x)
-        except Interrupt:
-            raise
-        except Exception as exc:  # noqa: BLE001 - module bug: report, don't die
-            error = exc
+            # the cross-core pop of the request payload
+            yield from x.work(qp.pop_cost_ns, span="ipc")
+            # request handling: parse, namespace/registry lookups, bookkeeping
+            yield from x.work(self.cpu.cost.runtime_request_ns, span="runtime")
+            try:
+                value = yield from self.executor(req, x)
+            except Interrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - module bug: report, don't die
+                error = exc
+                self.failed += 1
+        except Interrupt as intr:
+            if not self.crashed:
+                raise
+            # dying mid-request: convert the interrupt into an error
+            # completion so ``submitted == completed + inflight`` keeps
+            # holding on the queue pair
+            error = WorkerCrashed(
+                f"worker {self.worker_id} crashed mid-request: {intr.cause}"
+            )
             self.failed += 1
+        finally:
+            self._active.pop(req.req_id, None)
         req.complete_ns = self.env.now
         if sc is not None:
             sc.mark_complete(self.env.now)

@@ -133,8 +133,12 @@ class BlockDevice:
         self._queues = [Store(env) for _ in range(profile.nqueues)]
         self._last_offset = 0  # for the seek model
         self.completed = 0
+        self.errors = 0  # commands failed by injected faults
         self.bytes_read = 0
         self.bytes_written = 0
+        #: fault-injection decision point (repro.faults); None keeps the
+        #: service loop on its zero-overhead fast path
+        self.faults = None
         for qidx in range(profile.nqueues):
             env.process(self._dispatch_loop(qidx), name=f"{self.name}.hctx{qidx}")
 
@@ -184,12 +188,34 @@ class BlockDevice:
             self.env.process(self._service(req, slot, qidx))
 
     def _service(self, req: BlockRequest, slot, qidx: int):
+        faults = self.faults
+        if faults is not None and faults.stall_until > self.env.now:
+            # injected controller stall: service starts freeze until it lifts
+            yield self.env.timeout(faults.stall_until - self.env.now)
         service = self.profile.service_ns(
             req.op, req.size, seek_frac=self._seek_frac(req), rng=self.rng
         )
         queue_ns = self.env.now - req.submit_ns
         self._last_offset = req.offset + req.size
+        action = faults.before_service(req) if faults is not None else None
+        if action is not None and action.extra_ns:
+            service += action.extra_ns  # injected latency spike
         yield self.env.timeout(service)
+        if action is not None and action.error is not None:
+            # injected failure: a torn write persists its sector-aligned
+            # prefix, then the command completes with an error — the waiter
+            # gets the exception thrown in via req.done.fail()
+            if req.op is IoOp.WRITE and action.torn_bytes:
+                self.store.write(req.offset, req.data[: action.torn_bytes])
+            self._channels.release(slot)
+            req.complete_ns = self.env.now
+            self.errors += 1
+            req.done.fail(action.error)
+            if not req.done.callbacks:
+                # nobody is waiting (e.g. the submitting worker was crashed
+                # mid-request): defuse so teardown audits stay clean
+                req.done.defuse()
+            return
         self._apply(req)
         self._channels.release(slot)
         req.complete_ns = self.env.now

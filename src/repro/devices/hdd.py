@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DeviceError
 from ..sim import Environment
 from .base import BlockDevice, DeviceProfile
 
@@ -26,7 +27,7 @@ class Hdd(BlockDevice):
         rng: np.random.Generator | None = None,
     ) -> None:
         if profile.nqueues != 1 or profile.parallelism != 1:
-            raise ValueError("HDD model requires nqueues=1, parallelism=1")
+            raise DeviceError("HDD model requires nqueues=1, parallelism=1", device=profile.name)
         if profile.seek_ns <= 0:
-            raise ValueError("HDD profile needs a positive seek_ns")
+            raise DeviceError("HDD profile needs a positive seek_ns", device=profile.name)
         super().__init__(env, profile, rng)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DeviceError
 from ..sim import Environment, Event
 from .base import BlockDevice, BlockRequest, DeviceProfile
 
@@ -27,7 +28,7 @@ class Nvme(BlockDevice):
         rng: np.random.Generator | None = None,
     ) -> None:
         if profile.nqueues < 1:
-            raise ValueError("NVMe model requires >= 1 hardware queue")
+            raise DeviceError("NVMe model requires >= 1 hardware queue", device=profile.name)
         super().__init__(env, profile, rng)
         # Per-hctx completion rings for poll-mode consumers (SPDK-style).
         self._cq_rings: list[list[BlockRequest]] = [[] for _ in range(profile.nqueues)]

@@ -28,7 +28,7 @@ class Pmem(BlockDevice):
         rng: np.random.Generator | None = None,
     ) -> None:
         if profile.nqueues != 1:
-            raise ValueError("PMEM block-compat path uses a single bio queue")
+            raise DeviceError("PMEM block-compat path uses a single bio queue", device=profile.name)
         super().__init__(env, profile, rng)
 
     # -- DAX byte-addressable path ---------------------------------------

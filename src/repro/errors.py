@@ -27,6 +27,14 @@ class OutOfSpaceError(DeviceError):
     """A block/byte allocation could not be satisfied."""
 
 
+class MediaError(DeviceError):
+    """An I/O command failed at the media (the simulated EIO).
+
+    Raised into the submitter by failing the request's completion event;
+    produced by :mod:`repro.faults` media-error and torn-write injectors.
+    """
+
+
 class KernelError(ReproError):
     """Errors raised by the simulated Linux kernel substrate."""
 
@@ -52,6 +60,10 @@ class ShmAccessError(IpcError):
     """A process touched a shared-memory region it was never granted."""
 
 
+class QueueFull(IpcError):
+    """A submission was rejected because the SQ exerted backpressure."""
+
+
 class LabStorError(ReproError):
     """Errors raised by the LabStor core (modules, stacks, runtime)."""
 
@@ -70,3 +82,30 @@ class UpgradeError(LabStorError):
 
 class RuntimeCrashed(LabStorError):
     """The LabStor Runtime is offline and did not restart within the wait window."""
+
+
+class TimeoutError(LabStorError):  # noqa: A001 - deliberate, scoped to repro.*
+    """A request did not complete within its per-op deadline.
+
+    The client fails the request's pending :class:`~repro.sim.Event` with
+    this error instead of letting the simulation hang; a late completion
+    for the timed-out attempt is dropped by the completion poller.
+    """
+
+
+class WorkerCrashed(LabStorError):
+    """The worker executing a request was killed mid-flight.
+
+    The dying worker converts the interrupt into an error completion so
+    queue-pair conservation stays balanced; clients may retry (LabFS
+    block writes are idempotent at a given offset).
+    """
+
+
+class RetriesExhausted(LabStorError):
+    """A :class:`repro.faults.RetryPolicy` gave up after its attempt budget."""
+
+
+class ConsistencyError(LabStorError):
+    """Crash-consistency check failed: recovered state is not a
+    prefix-consistent view of the acknowledged operations."""

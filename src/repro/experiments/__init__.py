@@ -13,6 +13,7 @@ E7     Fig 8 / Table II sched      schedulers
 E8     Fig 9(a) PFS                pfs_eval
 E9     Fig 9(b) LABIOS             labios_eval
 E10    Fig 9(c) Filebench          filebench_eval
+E11    fault recovery (repro)      fault_recovery
 =====  ==========================  ===============================
 
 Each module exposes ``run_*`` (one configuration), ``sweep_*`` (the full
@@ -22,6 +23,7 @@ figure), and ``format_*`` (the paper-style table).
 from . import (
     ablations,
     anatomy,
+    fault_recovery,
     filebench_eval,
     labios_eval,
     live_upgrade,
@@ -46,5 +48,6 @@ __all__ = [
     "labios_eval",
     "filebench_eval",
     "ablations",
+    "fault_recovery",
     "report",
 ]

@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments --list
 
 Figure names: anatomy, table1, fig5a, fig5b, fig6, fig7, fig8, fig9a,
-fig9b, fig9c, ablations.
+fig9b, fig9c, ablations, faults.
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ import sys
 from . import (
     ablations,
     anatomy,
+    fault_recovery,
     filebench_eval,
     labios_eval,
     live_upgrade,
@@ -72,6 +73,8 @@ FIGURES = {
     "fig9c": lambda: print(filebench_eval.format_filebench(
         filebench_eval.sweep_filebench(nthreads=4, loops=4))),
     "ablations": _run_ablations,
+    "faults": lambda: print(fault_recovery.format_fault_recovery(
+        fault_recovery.sweep_fault_recovery(nwrites=120))),
 }
 
 

@@ -1,0 +1,98 @@
+"""Fault/recovery report CLI.
+
+Runs the canned power-cut chaos scenario (or a ``REPRO_FAULTS``-syntax
+plan given with ``--plan``) against a retrying GenericFS, then prints
+what the fault engine injected, what the retry layer absorbed, how long
+the runtime took to come back, and the crash-consistency audit — all
+sourced from the :mod:`repro.obs` telemetry registry.
+
+Usage::
+
+    python -m repro.faults.report                  # canned power-cut chaos
+    python -m repro.faults.report --writes 200 --seed 7
+    python -m repro.faults.report --plan "media_error:device=nvme,probability=0.2"
+    python -m repro.faults.report --json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from ..experiments.report import format_kv
+from ..units import msec
+from .plan import FaultPlan
+
+__all__ = ["run_report", "main"]
+
+
+def run_report(*, nwrites: int = 160, seed: int = 0,
+               plan: FaultPlan | None = None) -> dict:
+    """Run one chaos pass and return the combined metrics dict."""
+    from ..experiments.fault_recovery import run_fault_recovery
+
+    if plan is not None:
+        return run_fault_recovery(nwrites=nwrites, seed=seed, plan=plan)
+    return run_fault_recovery(
+        nwrites=nwrites, seed=seed,
+        media_error_p=0.10, latency_p=0.10, qp_reject_p=0.03,
+        power_cut=True, power_cut_at_ns=int(msec(2.0)),
+        restart_after_ns=int(msec(1.0)),
+    )
+
+
+def _format(result: dict) -> str:
+    cons = result["consistency"]
+    pairs = {
+        "writes acked": f'{result["acked"]}/{result["nwrites"]}'
+                        f' ({result["gave_up"]} gave up)',
+        "goodput": f'{result["goodput_kops_s"]:.2f} kops/s'
+                   f' over {result["elapsed_s"] * 1e3:.2f} ms',
+        "faults injected": result["injected"],
+        "retries / giveups": f'{result["retries"]} / {result["giveups"]}',
+        "runtime crashes": result["crashes"],
+        "recovery time": f'{result["recovery_ms"]:.2f} ms (p50)',
+        "consistency": f'{cons["acked_ok"]} acked ok, '
+                       f'{cons["pending_absent"]} pending absent, '
+                       f'{cons["pending_torn"]} pending torn',
+    }
+    return format_kv("fault injection & recovery report", pairs)
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv)
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+
+    def _opt(flag: str, default, cast):
+        if flag in args:
+            i = args.index(flag)
+            try:
+                value = cast(args[i + 1])
+            except (IndexError, ValueError):
+                print(f"{flag} needs a {cast.__name__} argument", file=sys.stderr)
+                raise SystemExit(2) from None
+            del args[i:i + 2]
+            return value
+        return default
+
+    nwrites = _opt("--writes", 160, int)
+    seed = _opt("--seed", 0, int)
+    plan_text = _opt("--plan", None, str)
+    if args:
+        print(f"unknown argument(s): {', '.join(args)}; "
+              "usage: report [--writes N] [--seed N] [--plan TEXT] [--json]",
+              file=sys.stderr)
+        return 2
+    plan = FaultPlan.parse(plan_text) if plan_text else None
+    result = run_report(nwrites=nwrites, seed=seed, plan=plan)
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+    else:
+        print(_format(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -79,6 +79,11 @@ class QueuePair:
         # the queue non-empty at rebalance time)
         self.est_queued_ns = 0
         self.est_ewma_ns = 0.0
+        #: fault-injection hook (repro.faults): called before a submission
+        #: touches any state; may raise QueueFull to model a full SQ.
+        #: None keeps submit on its zero-overhead fast path.
+        self.reject_hook = None
+        self.rejected_total = 0
 
     # -- access control ---------------------------------------------------
     def _check(self, pid: int | None) -> None:
@@ -93,6 +98,14 @@ class QueuePair:
     def submit(self, request: Any, pid: int | None = None) -> Event:
         """Place a request on the SQ. Returns the store-accept event."""
         self._check(pid)
+        if self.reject_hook is not None:
+            # injected SQ backpressure: raises QueueFull before any counter
+            # or estimator moves, so conservation bookkeeping is untouched
+            try:
+                self.reject_hook(self, request)
+            except BaseException:
+                self.rejected_total += 1
+                raise
         if self.flag is not QueueFlag.NORMAL and self.primary:
             # Paused for upgrade: the entry still lands in the SQ, but no
             # worker will pop it until the Module Manager resumes the queue.

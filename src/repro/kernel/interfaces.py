@@ -24,6 +24,7 @@ from __future__ import annotations
 import abc
 
 from ..devices.base import BlockDevice, IoOp
+from ..errors import KernelError
 from ..sim import Environment
 from .block_layer import BlockLayer
 from .cpu import DEFAULT_COST, CostModel
@@ -49,15 +50,28 @@ class IoInterface(abc.ABC):
         env: Environment,
         device: BlockDevice,
         cost: CostModel = DEFAULT_COST,
+        retry=None,
     ) -> None:
         self.env = env
         self.device = device
         self.cost = cost
+        #: optional repro.faults.RetryPolicy — the kernel baseline gets the
+        #: same bounded-retry resilience as the LabStor connectors
+        self.retry = retry
         self.block_layer = BlockLayer(env, device, cost)
         self.completed_ops = 0
 
     def submit(self, op: IoOp, offset: int, size: int, data: bytes | None = None, core: int = 0):
         """Process generator: one O_DIRECT I/O, start to completion."""
+        if self.retry is None:
+            return (yield from self._submit_once(op, offset, size, data, core))
+        return (
+            yield from self.retry.run(
+                self.env, lambda _n: self._submit_once(op, offset, size, data, core)
+            )
+        )
+
+    def _submit_once(self, op: IoOp, offset: int, size: int, data: bytes | None, core: int):
         yield from self._pre(size)
         req = yield from self.block_layer.submit_bio(op, offset, size, data, origin_core=core)
         yield from self._post(size)
@@ -147,5 +161,5 @@ def make_interface(name: str, env: Environment, device: BlockDevice, **kw) -> Io
     try:
         cls = INTERFACES[name]
     except KeyError:
-        raise ValueError(f"unknown interface {name!r}; choose from {sorted(INTERFACES)}") from None
+        raise KernelError(f"unknown interface {name!r}; choose from {sorted(INTERFACES)}") from None
     return cls(env, device, **kw)

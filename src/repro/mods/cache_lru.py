@@ -186,9 +186,15 @@ class LruCacheMod(LabMod):
             self.misses = old.misses
             self.writebacks = old.writebacks
 
-    def state_repair(self) -> None:
-        # a crashed Runtime may hold stale cached pages: drop them.  In
-        # write-back mode this loses un-flushed dirty pages — exactly the
+    def on_crash(self) -> None:
+        # cached pages live in the Runtime's memory and die with it; in
+        # write-back mode that loses un-flushed dirty pages — exactly the
         # durability trade the policy advertises.
+        self.pages.clear()
+        self.dirty.clear()
+
+    def state_repair(self) -> None:
+        # nothing durable to rebuild from; start cold (on_crash dropped
+        # the pages when the Runtime died)
         self.pages.clear()
         self.dirty.clear()

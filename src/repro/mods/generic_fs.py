@@ -27,12 +27,19 @@ class _FdEntry:
 
 
 class GenericFS:
-    """POSIX facade over mounted filesystem LabStacks."""
+    """POSIX facade over mounted filesystem LabStacks.
 
-    def __init__(self, client: LabStorClient) -> None:
+    ``retry`` (a :class:`repro.faults.RetryPolicy`) makes every routed
+    request resilient: transient failures — injected media errors, queue
+    backpressure, worker crashes, op timeouts — are retried with
+    deterministic backoff before surfacing to the application.
+    """
+
+    def __init__(self, client: LabStorClient, retry=None) -> None:
         self.client = client
         self.env = client.env
         self.cost = client.runtime.cost
+        self.retry = retry
         self._fds: dict[int, _FdEntry] = {}
         self.intercepted = 0
 
@@ -40,6 +47,23 @@ class GenericFS:
     def _intercept(self):
         self.intercepted += 1
         yield self.env.timeout(self.cost.generic_fs_ns)
+
+    def _call(self, stack, op: str, payload: dict):
+        """Route one request through the client, applying the retry
+        policy.  Each attempt builds a fresh LabRequest: an abandoned
+        (timed-out) request id must never be reused."""
+        retry = self.retry
+        if retry is None:
+            return (yield from self.client.call(stack, LabRequest(op=op, payload=payload)))
+
+        def attempt(_n):
+            return self.client.call(
+                stack,
+                LabRequest(op=op, payload=dict(payload)),
+                timeout_ns=retry.timeout_ns,
+            )
+
+        return (yield from retry.run(self.env, attempt))
 
     def _entry(self, fd: int) -> _FdEntry:
         try:
@@ -55,9 +79,7 @@ class GenericFS:
         """Resolve, route fs.open, allocate a client-side fd."""
         yield from self._intercept()
         stack, remainder = self.client.runtime.namespace.resolve(path)
-        ino = yield from self.client.call(
-            stack, LabRequest(op="fs.open", payload={"path": remainder, "create": create})
-        )
+        ino = yield from self._call(stack, "fs.open", {"path": remainder, "create": create})
         fd = self.client.alloc_fd(stack.stack_id)
         self._fds[fd] = _FdEntry(stack_id=stack.stack_id, ino=ino, pos=0, path=remainder)
         return fd
@@ -72,18 +94,15 @@ class GenericFS:
             raise LabStorError(f"GenericFS: unknown fd {fd}")
         self.client.release_fd(fd)
         stack = self.client.runtime.namespace.get_by_id(entry.stack_id)
-        yield from self.client.call(
-            stack, LabRequest(op="fs.close", payload={"ino": entry.ino})
-        )
+        yield from self._call(stack, "fs.close", {"ino": entry.ino})
 
     def write(self, fd: int, data: bytes, offset: int | None = None):
         yield from self._intercept()
         entry = self._entry(fd)
         pos = entry.pos if offset is None else offset
         stack = self._stack_for(fd)
-        n = yield from self.client.call(
-            stack,
-            LabRequest(op="fs.write", payload={"ino": entry.ino, "offset": pos, "data": data}),
+        n = yield from self._call(
+            stack, "fs.write", {"ino": entry.ino, "offset": pos, "data": data}
         )
         if offset is None:
             entry.pos = pos + n
@@ -94,9 +113,8 @@ class GenericFS:
         entry = self._entry(fd)
         pos = entry.pos if offset is None else offset
         stack = self._stack_for(fd)
-        data = yield from self.client.call(
-            stack,
-            LabRequest(op="fs.read", payload={"ino": entry.ino, "offset": pos, "size": size}),
+        data = yield from self._call(
+            stack, "fs.read", {"ino": entry.ino, "offset": pos, "size": size}
         )
         if offset is None:
             entry.pos = pos + len(data)
@@ -109,59 +127,40 @@ class GenericFS:
     def fsync(self, fd: int):
         yield from self._intercept()
         entry = self._entry(fd)
-        yield from self.client.call(
-            self._stack_for(fd), LabRequest(op="fs.fsync", payload={"ino": entry.ino})
-        )
+        yield from self._call(self._stack_for(fd), "fs.fsync", {"ino": entry.ino})
 
     def unlink(self, path: str):
         yield from self._intercept()
         stack, remainder = self.client.runtime.namespace.resolve(path)
-        yield from self.client.call(
-            stack, LabRequest(op="fs.unlink", payload={"path": remainder})
-        )
+        yield from self._call(stack, "fs.unlink", {"path": remainder})
 
     def rename(self, path: str, new_path: str):
         yield from self._intercept()
         stack, remainder = self.client.runtime.namespace.resolve(path)
         _stack2, new_remainder = self.client.runtime.namespace.resolve(new_path)
-        yield from self.client.call(
-            stack,
-            LabRequest(op="fs.rename", payload={"path": remainder, "new_path": new_remainder}),
+        yield from self._call(
+            stack, "fs.rename", {"path": remainder, "new_path": new_remainder}
         )
 
     def stat(self, path: str):
         yield from self._intercept()
         stack, remainder = self.client.runtime.namespace.resolve(path)
-        return (
-            yield from self.client.call(
-                stack, LabRequest(op="fs.stat", payload={"path": remainder})
-            )
-        )
+        return (yield from self._call(stack, "fs.stat", {"path": remainder}))
 
     def mkdir(self, path: str):
         yield from self._intercept()
         stack, remainder = self.client.runtime.namespace.resolve(path)
-        return (
-            yield from self.client.call(
-                stack, LabRequest(op="fs.mkdir", payload={"path": remainder})
-            )
-        )
+        return (yield from self._call(stack, "fs.mkdir", {"path": remainder}))
 
     def readdir(self, path: str):
         yield from self._intercept()
         stack, remainder = self.client.runtime.namespace.resolve(path)
-        return (
-            yield from self.client.call(
-                stack, LabRequest(op="fs.readdir", payload={"path": remainder})
-            )
-        )
+        return (yield from self._call(stack, "fs.readdir", {"path": remainder}))
 
     def rmdir(self, path: str):
         yield from self._intercept()
         stack, remainder = self.client.runtime.namespace.resolve(path)
-        yield from self.client.call(
-            stack, LabRequest(op="fs.rmdir", payload={"path": remainder})
-        )
+        yield from self._call(stack, "fs.rmdir", {"path": remainder})
 
     # convenience ----------------------------------------------------------
     def write_file(self, path: str, data: bytes):

@@ -15,11 +15,15 @@ __all__ = ["GenericKVS"]
 
 
 class GenericKVS:
-    def __init__(self, client: LabStorClient, mount: str) -> None:
+    """``retry`` (a :class:`repro.faults.RetryPolicy`) adds bounded,
+    deterministic retries with backoff around every routed request."""
+
+    def __init__(self, client: LabStorClient, mount: str, retry=None) -> None:
         self.client = client
         self.env = client.env
         self.cost = client.runtime.cost
         self.mount = mount
+        self.retry = retry
         self.intercepted = 0
 
     def _stack(self):
@@ -30,34 +34,33 @@ class GenericKVS:
         self.intercepted += 1
         yield self.env.timeout(self.cost.generic_fs_ns)
 
+    def _call(self, op: str, payload: dict):
+        """One routed request; fresh LabRequest per retry attempt."""
+        retry = self.retry
+        if retry is None:
+            return (yield from self.client.call(self._stack(), LabRequest(op=op, payload=payload)))
+
+        def attempt(_n):
+            return self.client.call(
+                self._stack(),
+                LabRequest(op=op, payload=dict(payload)),
+                timeout_ns=retry.timeout_ns,
+            )
+
+        return (yield from retry.run(self.env, attempt))
+
     def put(self, key: str, value: bytes):
         yield from self._intercept()
-        return (
-            yield from self.client.call(
-                self._stack(), LabRequest(op="kvs.put", payload={"key": key, "value": value})
-            )
-        )
+        return (yield from self._call("kvs.put", {"key": key, "value": value}))
 
     def get(self, key: str):
         yield from self._intercept()
-        return (
-            yield from self.client.call(
-                self._stack(), LabRequest(op="kvs.get", payload={"key": key})
-            )
-        )
+        return (yield from self._call("kvs.get", {"key": key}))
 
     def remove(self, key: str):
         yield from self._intercept()
-        return (
-            yield from self.client.call(
-                self._stack(), LabRequest(op="kvs.remove", payload={"key": key})
-            )
-        )
+        return (yield from self._call("kvs.remove", {"key": key}))
 
     def exists(self, key: str):
         yield from self._intercept()
-        return (
-            yield from self.client.call(
-                self._stack(), LabRequest(op="kvs.exists", payload={"key": key})
-            )
-        )
+        return (yield from self._call("kvs.exists", {"key": key}))

@@ -172,6 +172,11 @@ class LabFs(LabMod):
         return self._mkdir_now(parent, x)
 
     def _mkdir_now(self, path: str, x: ExecContext) -> LabFsInode:
+        if path == "/":
+            # "/" is its own parent: recreate the root directly rather
+            # than recursing into _ensure_parent forever
+            self._mkdir_root()
+            return self.inodes[self.by_path["/"]]
         parent = self._ensure_parent(path, x)
         ino = next(self._ino)
         inode = LabFsInode(ino=ino, path=path, is_dir=True)
@@ -389,6 +394,17 @@ class LabFs(LabMod):
             self.inodes = old.inodes
             self.by_path = old.by_path
             self._ino = old._ino
+
+    def on_crash(self) -> None:
+        """Runtime died: the in-memory inode hashmap and path map are
+        volatile and vanish with it.  The metadata log and the allocator's
+        committed extents are durable; :meth:`state_repair` rebuilds the
+        volatile side from them at restart.  The root is implicit in mkfs
+        and survives (requests still draining through dying workers must
+        not find a rootless namespace)."""
+        self.inodes = {}
+        self.by_path = {}
+        self._mkdir_root()
 
     def state_repair(self) -> None:
         """Crash recovery: rebuild the inode hashmap (and the directory

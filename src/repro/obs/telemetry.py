@@ -21,6 +21,10 @@ Event taxonomy (see DESIGN.md "Observability"):
   phases/cats/mods are aggregated into the registry here
 - ``obs.device`` — one device command entered service (fields: ``device``,
   ``hctx``, ``op``, ``size``, ``queue_ns``, ``service_ns``)
+
+``fault.*`` events from :mod:`repro.faults` (injections, retries,
+giveups, runtime crash/restart) are aggregated into the registry too, so
+goodput-under-faults and recovery time fall out of the same hub.
 """
 
 from __future__ import annotations
@@ -104,6 +108,18 @@ class Telemetry:
             self.registry.inc("device_bytes_total", f["size"], device=f["device"])
             self.registry.observe("device_queue_ns", f["queue_ns"], device=f["device"])
             self.registry.observe("device_service_ns", f["service_ns"], device=f["device"])
+        elif cat == "fault.inject":
+            self.registry.inc("faults_injected_total", kind=ev.fields["kind"])
+        elif cat == "fault.retry":
+            self.registry.inc("fault_retries_total", error=ev.fields["error"])
+        elif cat == "fault.giveup":
+            self.registry.inc("fault_giveups_total", error=ev.fields["error"])
+        elif cat == "fault.runtime":
+            f = ev.fields
+            if f["action"] == "crash":
+                self.registry.inc("runtime_crashes_total")
+            else:  # restart
+                self.registry.observe("runtime_recovery_ns", f["recovery_ns"])
 
     def _ingest(self, span: SpanContext) -> None:
         reg = self.registry

@@ -219,10 +219,66 @@ def _scenario_kvs(audit: AuditRun) -> dict[str, Any]:
     return {"hits": hits}
 
 
+def _scenario_faults(audit: AuditRun) -> dict[str, Any]:
+    """Chaos under audit: probabilistic media errors + queue rejections +
+    a worker crash + a power cut with auto-restart, driven against a
+    retrying GenericFS.  Every injection draws from the seeded "faults"
+    RNG stream, so the whole storm must replay digest-identical."""
+    from ..faults import CrashConsistencyChecker, FaultPlan, FaultSpec, RetryPolicy
+    from ..mods.generic_fs import GenericFS
+    from ..system import LabStorSystem
+    from ..units import msec, usec
+
+    env = Environment()
+    audit.attach(env)
+    plan = FaultPlan.of(
+        FaultSpec(kind="media_error", device="nvme", op="write", probability=0.08, count=6),
+        FaultSpec(kind="latency", device="nvme", probability=0.1, count=8,
+                  extra_ns=int(usec(80))),
+        FaultSpec(kind="qp_reject", probability=0.05, count=3),
+        FaultSpec(kind="worker_crash", at=int(msec(0.9))),
+        FaultSpec(kind="torn_write", at=int(msec(2.0)), device="nvme", op="write"),
+        FaultSpec(kind="power_cut", at=int(msec(2.0)), restart_after=int(msec(1.0))),
+    )
+    system = LabStorSystem(env=env, devices=("nvme",), fault_plan=plan)
+    system.mount_fs_stack("fs::/chaos", variant="min")
+    retry = RetryPolicy(max_attempts=6, timeout_ns=int(msec(50)))
+    gfs = GenericFS(system.client(), retry=retry)
+    checker = CrashConsistencyChecker()
+
+    def go():
+        acked = 0
+        for i in range(56):
+            path = f"fs::/chaos/f{i}"
+            data = bytes([i % 251]) * 4096
+            checker.begin(path, data)
+            try:
+                yield from gfs.write_file(path, data)
+            except Exception:  # noqa: BLE001 - gave up after retries: move on
+                continue
+            checker.ack(path)
+            acked += 1
+        return acked
+
+    acked = system.run(system.process(go()))
+    report = system.run(system.process(checker.verify(gfs)))
+    assert report["acked_ok"] == acked, "acknowledged write lost after recovery"
+    engine = system.faults
+    assert engine is not None and engine.total_injected > 0, "no faults fired"
+    return {
+        "acked": acked,
+        "injected": dict(sorted(engine.injected.items())),
+        "retries": retry.retries,
+        "crashes": system.runtime.crashes,
+        "consistency": report,
+    }
+
+
 SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {
     "quickstart": _scenario_quickstart,
     "orchestration": _scenario_orchestration,
     "kvs": _scenario_kvs,
+    "faults": _scenario_faults,
 }
 
 

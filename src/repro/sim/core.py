@@ -192,7 +192,7 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
-        if self._target is self.env.active_process:
+        if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
         event = Event(self.env)
         event._ok = False
@@ -424,8 +424,11 @@ class Environment:
                 self.step()
         except StopSimulation:
             assert stop_event is not None
-            if not stop_event._ok and not stop_event._defused:
-                raise stop_event._value from None
+            if not stop_event._ok:
+                # re-raise from the original cause: this suppresses the
+                # StopSimulation context without clobbering an exception
+                # chain the failure already carries (retry giveups etc.)
+                raise stop_event._value from stop_event._value.__cause__
             return stop_event._value
         if stop_event is not None and not stop_event._triggered:
             raise SimulationError("run() ran out of events before the awaited event fired")
@@ -443,6 +446,11 @@ class Environment:
         event would never resume.  Instead schedule an URGENT sentinel whose
         processing raises after the stop event's callback loop completed.
         """
+        if not event._ok:
+            # run() re-raises this failure to its caller once the sentinel
+            # fires; defuse it here or step()'s unhandled-failure crash
+            # would preempt the sentinel and leave it stale in the heap.
+            event._defused = True
         sentinel = Event(self)
         sentinel._triggered = True
         sentinel._ok = True

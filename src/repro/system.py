@@ -26,19 +26,23 @@ per-request spans; see DESIGN.md "Observability".
 from __future__ import annotations
 
 import warnings
-from typing import Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from .builder import VARIANTS, StackBuilder
 from .core.client import LabStorClient
 from .core.labstack import LabStack, StackSpec
 from .core.runtime import LabStorRuntime, RuntimeConfig
 from .devices.profiles import DeviceSpec, make_device
+from .faults.plan import plan_from_env as _plan_from_env
 from .kernel.cpu import DEFAULT_COST, CostModel
 from .mods import STANDARD_REPO
 from .obs.telemetry import Telemetry
 from .obs.telemetry import maybe_attach as _maybe_attach_telemetry
 from .sim import Environment, RngRegistry
 from .sim.sanitizer import maybe_attach
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultEngine, FaultPlan
 
 __all__ = ["LabStorSystem", "VARIANTS"]
 
@@ -54,6 +58,7 @@ class LabStorSystem:
         device_overrides: dict[str, dict] | None = None,
         env: Environment | None = None,
         telemetry: Union[Telemetry, bool, None] = None,
+        fault_plan: Union["FaultPlan", str, None] = None,
     ) -> None:
         self.env = env if env is not None else Environment()
         # REPRO_SANITIZE=1 arms the invariant checker for every deployment
@@ -88,6 +93,30 @@ class LabStorSystem:
         self.runtime = LabStorRuntime(self.env, self.devices, cost=cost, config=config)
         self.runtime.mount_repo("standard", STANDARD_REPO)
         self._clients: list[LabStorClient] = []
+        # fault injection: explicit plan wins; None defers to REPRO_FAULTS.
+        # self.faults stays None on the no-plan fast path (zero overhead).
+        self.faults = None
+        plan = fault_plan if fault_plan is not None else _plan_from_env()
+        if plan is not None:
+            self.install_faults(plan)
+
+    def install_faults(self, plan: Union["FaultPlan", str]) -> "FaultEngine":
+        """Arm (or extend) deterministic fault injection on this system.
+
+        Accepts a :class:`repro.faults.FaultPlan` or its text form (the
+        ``REPRO_FAULTS`` syntax).  All randomness draws from the seeded
+        ``"faults"`` RNG stream, so runs replay bit-for-bit."""
+        from .faults import FaultEngine, FaultPlan
+
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        if self.faults is None:
+            self.faults = FaultEngine(
+                self.env, plan, rng=self.rngs.stream("faults")
+            ).install(self)
+        else:
+            self.faults.extend(plan)
+        return self.faults
 
     # ------------------------------------------------------------------
     # canonical stacks

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import LabStorError
 from repro.core import DynamicPolicy, LabRequest, RoundRobinPolicy, Worker, WorkOrchestrator
 from repro.ipc import Completion, QueuePair
 from repro.kernel import Cpu
@@ -240,7 +241,7 @@ def test_spawn_beyond_max_rejected():
     env = Environment()
     cpu = Cpu(env, ncores=8)
     orch = WorkOrchestrator(env, cpu, echo_executor, nworkers=2, max_workers=2)
-    with pytest.raises(ValueError):
+    with pytest.raises(LabStorError):
         orch.spawn_worker()
 
 

@@ -211,7 +211,7 @@ def test_hdd_sequential_much_faster_than_random():
 
 def test_hdd_profile_constraints():
     env = Environment()
-    with pytest.raises(ValueError):
+    with pytest.raises(DeviceError):
         make_device(env, "hdd", nqueues=4)
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.devices import IoOp, make_device
+from repro.errors import KernelError
 from repro.kernel import INTERFACES, make_interface
 from repro.sim import Environment
 
@@ -23,7 +24,7 @@ def one_op_latency(name, device="nvme", size=4096, op=IoOp.WRITE):
 def test_unknown_interface_rejected():
     env = Environment()
     dev = make_device(env, "nvme")
-    with pytest.raises(ValueError, match="unknown interface"):
+    with pytest.raises(KernelError, match="unknown interface"):
         make_interface("io_warp", env, dev)
 
 
