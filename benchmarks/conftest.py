@@ -3,16 +3,54 @@
 Every benchmark runs a full experiment sweep once (pedantic mode — these
 are discrete-event simulations, deterministic given the seed, so repeated
 rounds only re-measure the host's Python speed), records the reproduced
-table in ``extra_info``, and prints it so a plain
+table in ``extra_info``, prints it so a plain
 ``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
-figures as text.
+figures as text, and writes the raw rows to a machine-readable
+``BENCH_<name>.json`` under ``benchmarks/artifacts/`` (override the
+directory with ``BENCH_ARTIFACT_DIR``) for CI to upload and for
+regression tooling to diff across commits.
 """
+
+import json
+import os
+import re
+from pathlib import Path
 
 import pytest
 
+ARTIFACT_DIR_ENV = "BENCH_ARTIFACT_DIR"
 
-def run_figure(benchmark, sweep_fn, format_fn, label):
-    """Run a sweep under pytest-benchmark and print its table."""
+
+def _artifact_dir() -> Path:
+    configured = os.environ.get(ARTIFACT_DIR_ENV)
+    return Path(configured) if configured else Path(__file__).parent / "artifacts"
+
+
+def write_bench_artifact(name: str, rows, **meta) -> Path:
+    """Persist one benchmark's rows as ``BENCH_<name>.json``.
+
+    ``rows`` is the experiment sweep's list of dicts; ``meta`` lands
+    alongside it (figure label, knobs).  Non-JSON values degrade to their
+    ``str`` form rather than failing the benchmark.
+    """
+    out_dir = _artifact_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    payload = {"name": name, "rows": rows, **meta}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def _slug(benchmark, label: str) -> str:
+    name = getattr(benchmark, "name", None) or label
+    name = re.sub(r"^test_bench_", "", name)
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+
+
+def run_figure(benchmark, sweep_fn, format_fn, label, artifact: str | None = None):
+    """Run a sweep under pytest-benchmark, print its table, and emit the
+    ``BENCH_<name>.json`` artifact (name defaults to the test's name with
+    the ``test_bench_`` prefix stripped; pass ``artifact=`` to pin it)."""
     result_holder = {}
 
     def once():
@@ -20,8 +58,11 @@ def run_figure(benchmark, sweep_fn, format_fn, label):
         return result_holder["rows"]
 
     benchmark.pedantic(once, rounds=1, iterations=1)
-    table = format_fn(result_holder["rows"])
+    rows = result_holder["rows"]
+    table = format_fn(rows)
     benchmark.extra_info["figure"] = label
     benchmark.extra_info["table"] = table
+    path = write_bench_artifact(artifact or _slug(benchmark, label), rows, figure=label)
+    benchmark.extra_info["artifact"] = str(path)
     print("\n" + table)
-    return result_holder["rows"]
+    return rows

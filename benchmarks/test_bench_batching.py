@@ -1,0 +1,26 @@
+"""E12 — batched submission amortization curve (throughput vs batch size)."""
+
+from repro.experiments import batching
+
+from conftest import run_figure
+
+
+def test_bench_batching(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: batching.sweep_batching(nops=256),
+        batching.format_batching,
+        "E12 — batching amortization",
+        artifact="batching",
+    )
+    by = {r["batch"]: r for r in rows}
+    # acceptance floor: >=30% more ops/s at batch=16 than unbatched
+    assert by[16]["ops_s"] >= 1.3 * by[1]["ops_s"], (
+        f"batch=16 only reached {by[16]['ops_s'] / by[1]['ops_s']:.2f}x"
+    )
+    # the curve is monotone non-decreasing: more batching never hurts here
+    batches = sorted(by)
+    for a, b in zip(batches, batches[1:]):
+        assert by[b]["ops_s"] >= by[a]["ops_s"], f"throughput dip at batch={b}"
+    # per-op latency is the price: a batch settles together
+    assert by[16]["p99_ns"] > by[1]["p99_ns"]

@@ -15,6 +15,8 @@ from repro.faults import FaultPlan, FaultSpec
 from repro.mods.generic_fs import GenericFS
 from repro.system import LabStorSystem
 
+from conftest import write_bench_artifact
+
 NOPS = 256
 BS = 4096
 
@@ -77,6 +79,13 @@ def test_bench_faults_overhead(benchmark):
     benchmark.extra_info["per_op_off_us"] = round(per_op_off_us, 2)
     benchmark.extra_info["per_op_on_us"] = round(per_op_on_us, 2)
     benchmark.extra_info["armed_idle_delta_pct"] = round(delta_pct, 1)
+    write_bench_artifact(
+        "faults_overhead",
+        [{"per_op_off_us": round(per_op_off_us, 2),
+          "per_op_on_us": round(per_op_on_us, 2),
+          "armed_idle_delta_pct": round(delta_pct, 1)}],
+        figure="fault-injection overhead",
+    )
     # generous bound: host noise dwarfs the two attribute checks
     assert delta_pct < 15.0
     print(

@@ -13,6 +13,8 @@ from repro.mods.generic_fs import GenericFS
 from repro.obs import Telemetry
 from repro.system import LabStorSystem
 
+from conftest import write_bench_artifact
+
 NOPS = 256
 BS = 4096
 
@@ -71,6 +73,13 @@ def test_bench_obs_overhead(benchmark):
     benchmark.extra_info["per_op_off_us"] = round(per_op_off_us, 2)
     benchmark.extra_info["per_op_on_us"] = round(per_op_on_us, 2)
     benchmark.extra_info["enabled_delta_pct"] = round(delta_pct, 1)
+    write_bench_artifact(
+        "obs_overhead",
+        [{"per_op_off_us": round(per_op_off_us, 2),
+          "per_op_on_us": round(per_op_on_us, 2),
+          "enabled_delta_pct": round(delta_pct, 1)}],
+        figure="telemetry overhead",
+    )
     print(
         f"\ntelemetry off: {per_op_off_us:.2f} us/op   "
         f"on: {per_op_on_us:.2f} us/op   (enabled delta {delta_pct:+.1f}%)"

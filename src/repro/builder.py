@@ -56,6 +56,7 @@ class StackBuilder:
         self._driver = "KernelDriverMod"
         self._cache: Optional[bool] = None    # None -> kind default
         self._sched: Optional[str] = "NoOpSchedMod"
+        self._sched_attrs: dict = {}
         self._uuid_prefix: Optional[str] = None
         self._capacity_bytes: Optional[int] = None
         self._nworkers = 8
@@ -102,9 +103,15 @@ class StackBuilder:
         self._cache = enabled
         return self
 
-    def sched(self, mod_name: str | None) -> "StackBuilder":
-        """Set the scheduler LabMod; ``None`` (or ``""``) omits it."""
+    def sched(self, mod_name: str | None, **attrs) -> "StackBuilder":
+        """Set the scheduler LabMod; ``None`` (or ``""``) omits it.
+
+        Keyword arguments become the scheduler node's attrs, overlaid on
+        the defaults the builder derives from the device — e.g.
+        ``.sched("BatchSchedMod", window_ns=10_000, batch_max=16)``.
+        """
         self._sched = mod_name or None
+        self._sched_attrs = dict(attrs)
         return self
 
     def uuid_prefix(self, prefix: str) -> "StackBuilder":
@@ -161,6 +168,7 @@ class StackBuilder:
             sched_attrs: dict = {"nqueues": dev.nqueues}
             if self._sched == "BlkSwitchSchedMod":
                 sched_attrs = {"device": self._device}
+            sched_attrs.update(self._sched_attrs)
             nodes.append(NodeSpec(mod_name=self._sched, uuid=f"{u}.sched", attrs=sched_attrs))
         nodes.append(NodeSpec(
             mod_name=self._driver, uuid=f"{u}.driver", attrs={"device": self._device}

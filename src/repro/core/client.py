@@ -18,6 +18,7 @@ import itertools
 from typing import Any
 
 from ..errors import LabStorError, RuntimeCrashed, TimeoutError
+from ..ipc.queue_pair import Completion
 from ..obs.spans import SpanContext
 from ..sim import Environment, Interrupt
 from .labstack import LabStack
@@ -40,6 +41,8 @@ class LabStorClient:
         self.fd_table: dict[int, int] = {}   # fd -> stack_id (GenericFS state)
         self._fd_counter = itertools.count(3)
         self.completed = 0
+        #: CQEs the poller drains per reap hop (batch CQ reaping)
+        self.reap_batch_max = 16
 
     # ------------------------------------------------------------------
     def connect(self, ordered: bool = True):
@@ -184,6 +187,87 @@ class LabStorClient:
             raise comp.error
         return comp.value
 
+    def submit_batch(self, stack: LabStack, reqs: list, timeout_ns: int | None = None):
+        """Process generator: submit ``reqs`` against ``stack`` as one batch
+        and return per-op :class:`Completion`\\ s in submission order.
+
+        The whole batch rides a single doorbell through the queue pair: the
+        client pays the marginal ``batch_op_ns`` per SQE it builds (the
+        span's ``batch`` phase), then one ``submit_batch`` call hands the
+        lot to the SQ.  Per-op failures — injected rejections, faults,
+        timeouts — are captured in ``Completion.error`` rather than raised,
+        so one bad op never masks its batch-mates' results.
+
+        On sync stacks (Lab-D, no queues to batch over) the ops simply
+        execute in order with the same per-op Completion surface.
+        """
+        reqs = list(reqs)
+        t = self.runtime.tracer
+        cost = self.runtime.cost
+        if stack.exec_mode == "sync":
+            comps = []
+            for req in reqs:
+                try:
+                    value = yield from self.call(stack, req, timeout_ns=timeout_ns)
+                except Interrupt:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - per-op surface
+                    comps.append(Completion(req, error=exc))
+                else:
+                    comps.append(Completion(req, value=value))
+            return comps
+        if self.conn is None:
+            raise LabStorError(f"client {self.pid} not connected")
+        events = []
+        for req in reqs:
+            req.stack_id = stack.stack_id
+            req.client_pid = self.pid
+            req.mod_uuid = stack.entry.uuid
+            req.est_ns = stack.entry.est_processing_time(req)
+            req.submit_ns = self.env.now
+            if t.obs:
+                sc = SpanContext(
+                    op=req.op, now=self.env.now, req_id=req.req_id,
+                    stack_id=stack.stack_id, sync=False,
+                )
+                req.obs = sc
+                t.emit(self.env.now, "obs.open", span=sc)
+            ev = self.env.event()
+            self._pending[req.req_id] = ev
+            events.append(ev)
+            # SQE build: the per-op marginal cost paid before the doorbell
+            yield self.env.timeout(cost.batch_op_ns)
+        _accepts, rejects = self.conn.qp.submit_batch(reqs, pid=self.pid)
+        reject_errors = {id(r): exc for r, exc in rejects}
+        deadline = self.env.now + timeout_ns if timeout_ns is not None else None
+        comps = []
+        for req, ev in zip(reqs, events):
+            sc = req.obs
+            if id(req) in reject_errors:
+                self._pending.pop(req.req_id, None)
+                comp = Completion(req, error=reject_errors[id(req)])
+            else:
+                try:
+                    comp = yield from self._wait(ev, deadline)
+                except Interrupt:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - per-op surface
+                    self._pending.pop(req.req_id, None)
+                    if isinstance(exc, TimeoutError) and not ev.triggered:
+                        ev.fail(exc)  # defused by the stale wait condition
+                    comp = Completion(req, error=exc)
+                else:
+                    # completion-side cross-core hop, attributed per op
+                    t.emit(self.env.now, "span", name="ipc", dur_ns=cost.shm_hop_ns)
+                    self.completed += 1
+                    if sc is not None:
+                        sc.add_cat("ipc", cost.shm_hop_ns)
+            if sc is not None:
+                sc.close(self.env.now)
+                t.emit(self.env.now, "obs.span", span=sc)
+            comps.append(comp)
+        return comps
+
     def call_path(self, path: str, op: str, payload: dict | None = None, **kw):
         """Resolve a path through the namespace and call the owning stack."""
         stack, remainder = self.runtime.namespace.resolve(path)
@@ -228,9 +312,11 @@ class LabStorClient:
         qp = self.conn.qp
         try:
             while self.conn is not None and self.conn.qp is qp:
-                comp = yield from qp.pop_completion(self.pid)
-                ev = self._pending.pop(comp.request.req_id, None)
-                if ev is not None and not ev.triggered:
-                    ev.succeed(comp)
+                # batch CQ reap: one hop drains whatever the CQ holds
+                comps = yield from qp.pop_completion_batch(self.pid, self.reap_batch_max)
+                for comp in comps:
+                    ev = self._pending.pop(comp.request.req_id, None)
+                    if ev is not None and not ev.triggered:
+                        ev.succeed(comp)
         except Interrupt:
             return  # client closed: stop reaping

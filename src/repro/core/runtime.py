@@ -43,6 +43,7 @@ class RuntimeConfig:
     admin_poll_ns: int = msec(1.0)              # upgrade-queue poll every t ms
     worker_idle_sleep_ns: int = 50_000          # busy-wait window before sleeping
     worker_poll_quantum_ns: int = 2_000
+    worker_batch_max: int = 1                   # SQEs a worker drains per wakeup
     restart_wait_ns: int = msec(100.0)          # client Wait crash patience
     trace: bool = False
 
@@ -100,6 +101,7 @@ class LabStorRuntime:
             worker_kw={
                 "idle_sleep_ns": self.config.worker_idle_sleep_ns,
                 "poll_quantum_ns": self.config.worker_poll_quantum_ns,
+                "batch_max": self.config.worker_batch_max,
             },
         )
         self.module_manager = ModuleManager(

@@ -9,6 +9,13 @@ be serviced concurrently.
 Completion is signalled by succeeding ``req.done`` — interrupt vs polling
 cost is charged by whichever *interface* consumed the completion (kernel
 IRQ path vs userspace poller), not by the device itself.
+
+Profiles with ``coalesce_max > 1`` enable a device-level coalescing
+window: an hctx that pops a read/write drains queued requests that
+front/back-extend the same extent (optionally lingering
+``coalesce_window_ns`` for stragglers) and services the run as one
+command — the fixed per-command latency is paid once while every
+constituent still completes, faults, and traces individually.
 """
 
 from __future__ import annotations
@@ -90,6 +97,11 @@ class DeviceProfile:
     flush_lat_ns: int = 0
     seek_ns: int = 0  # average seek+rotation penalty; >0 enables the HDD seek model
     jitter: float = 0.0
+    # device-level request coalescing (off by default): an hctx fuses up to
+    # coalesce_max contiguous same-direction requests into one command,
+    # lingering coalesce_window_ns for stragglers before dispatching
+    coalesce_max: int = 1
+    coalesce_window_ns: int = 0
 
     def service_ns(
         self,
@@ -136,6 +148,8 @@ class BlockDevice:
         self.errors = 0  # commands failed by injected faults
         self.bytes_read = 0
         self.bytes_written = 0
+        self.coalesced_groups = 0  # merged commands issued by the window
+        self.coalesced_ops = 0     # constituent requests inside them
         #: fault-injection decision point (repro.faults); None keeps the
         #: service loop on its zero-overhead fast path
         self.faults = None
@@ -181,11 +195,56 @@ class BlockDevice:
         """Pull requests off the hctx in FIFO order; each waits for one of
         the device's internal channels, then services concurrently."""
         queue = self._queues[qidx]
+        cmax = self.profile.coalesce_max
+        cwin = self.profile.coalesce_window_ns
         while True:
             req: BlockRequest = yield queue.get()
+            if cmax > 1 and req.op in (IoOp.READ, IoOp.WRITE):
+                group = [req]
+                self._drain_contiguous(queue, group)
+                if len(group) < cmax and cwin > 0:
+                    # linger briefly: back-to-back submitters (batched
+                    # drivers) land their remaining parts inside the window
+                    yield self.env.timeout(cwin)
+                    self._drain_contiguous(queue, group)
+                if len(group) > 1:
+                    self.coalesced_groups += 1
+                    self.coalesced_ops += len(group)
+                    slot = self._channels.request()
+                    yield slot
+                    self.env.process(self._service_group(group, slot, qidx))
+                    continue
             slot = self._channels.request()
             yield slot
             self.env.process(self._service(req, slot, qidx))
+
+    def _drain_contiguous(self, queue: Store, group: list) -> None:
+        """Steal queued requests that front/back-extend the group's extent.
+
+        Direct removal from ``queue.items`` is safe: hctx stores are
+        unbounded (no blocked putters to serve) and this loop is the
+        store's only consumer.
+        """
+        lead = group[0]
+        start = min(r.offset for r in group)
+        end = max(r.offset + r.size for r in group)
+        progressed = True
+        while progressed and len(group) < self.profile.coalesce_max:
+            progressed = False
+            for r in list(queue.items):
+                if r.op is not lead.op:
+                    continue
+                if r.offset == end:
+                    end = r.offset + r.size
+                elif r.offset + r.size == start:
+                    start = r.offset
+                else:
+                    continue
+                queue.items.remove(r)
+                group.append(r)
+                progressed = True
+                if len(group) >= self.profile.coalesce_max:
+                    return
 
     def _service(self, req: BlockRequest, slot, qidx: int):
         faults = self.faults
@@ -234,6 +293,62 @@ class BlockDevice:
                 sc.add_device_window(req.submit_ns, req.complete_ns)
         self._on_complete(req, qidx)
         req.done.succeed(req)
+
+    def _service_group(self, group: list, slot, qidx: int):
+        """Service a coalesced run as one command.
+
+        The fixed per-command latency and the seek are paid once; the
+        transfer term covers the combined extent.  Each constituent still
+        gets its own fault decision, completion stamp, telemetry record,
+        and done event — a fault injected into one constituent fails only
+        that request, its run-mates complete normally.
+        """
+        group = sorted(group, key=lambda r: r.offset)
+        faults = self.faults
+        if faults is not None and faults.stall_until > self.env.now:
+            yield self.env.timeout(faults.stall_until - self.env.now)
+        lead = group[0]
+        total = sum(r.size for r in group)
+        service = self.profile.service_ns(
+            lead.op, total, seek_frac=self._seek_frac(lead), rng=self.rng
+        )
+        t0 = self.env.now
+        self._last_offset = group[-1].offset + group[-1].size
+        actions = [faults.before_service(r) if faults is not None else None
+                   for r in group]
+        for action in actions:
+            if action is not None and action.extra_ns:
+                service += action.extra_ns
+        yield self.env.timeout(service)
+        self._channels.release(slot)
+        t = self.env.tracer
+        now = self.env.now
+        for r, action in zip(group, actions):
+            r.complete_ns = now
+            if action is not None and action.error is not None:
+                if r.op is IoOp.WRITE and action.torn_bytes:
+                    self.store.write(r.offset, r.data[: action.torn_bytes])
+                self.errors += 1
+                r.done.fail(action.error)
+                if not r.done.callbacks:
+                    r.done.defuse()
+                continue
+            self._apply(r)
+            self.completed += 1
+            if t.obs:
+                t.emit(
+                    now, "obs.device",
+                    device=self.name, hctx=qidx, op=r.op.value, size=r.size,
+                    queue_ns=t0 - r.submit_ns, service_ns=service,
+                )
+                sc = r.obs
+                if sc is not None:
+                    sc.add_device_window(r.submit_ns, r.complete_ns)
+            self._on_complete(r, qidx)
+            r.done.succeed(r)
+        if t.audit:
+            t.emit(now, "san.batch", source=f"{self.name}.coalesce",
+                   ops=len(group), delivered=len(group), double=0)
 
     def _on_complete(self, req: BlockRequest, qidx: int) -> None:
         """Hook for subclasses (NVMe fills its poll-mode completion ring)."""

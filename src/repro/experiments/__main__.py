@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments --list
 
 Figure names: anatomy, table1, fig5a, fig5b, fig6, fig7, fig8, fig9a,
-fig9b, fig9c, ablations, faults.
+fig9b, fig9c, ablations, faults, batching.
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ import sys
 from . import (
     ablations,
     anatomy,
+    batching,
     fault_recovery,
     filebench_eval,
     labios_eval,
@@ -75,6 +76,8 @@ FIGURES = {
     "ablations": _run_ablations,
     "faults": lambda: print(fault_recovery.format_fault_recovery(
         fault_recovery.sweep_fault_recovery(nwrites=120))),
+    "batching": lambda: print(batching.format_batching(
+        batching.sweep_batching(nops=256))),
 }
 
 

@@ -13,6 +13,15 @@ Properties (Section III-C1 of the paper):
 The cross-core cache-transfer cost of popping an entry (the 8.4% "IPC"
 slice of the paper's Fig 4 anatomy) is charged on each pop via
 ``pop_cost_ns``.
+
+Batched submission (``submit_batch``) rings one doorbell for several SQEs
+and batched reaping (``pop_completion_batch``) drains several CQEs per
+hop, so the fixed cross-boundary cost amortizes across the batch — the
+effect the E12 experiment measures.  Conservation bookkeeping is per-op:
+every accepted SQE still moves ``inflight``/``submitted_total`` exactly
+once, and the batch counters (``batches_submitted`` /
+``batch_ops_submitted`` / ``batch_ops_accepted``) let the sanitizer audit
+batches without weakening the per-op invariants.
 """
 
 from __future__ import annotations
@@ -84,6 +93,10 @@ class QueuePair:
         #: None keeps submit on its zero-overhead fast path.
         self.reject_hook = None
         self.rejected_total = 0
+        # batched-submission bookkeeping (sanitizer-audited)
+        self.batches_submitted = 0      # doorbells rung
+        self.batch_ops_submitted = 0    # SQEs behind those doorbells
+        self.batch_ops_accepted = 0     # of those, accepted by the SQ so far
 
     # -- access control ---------------------------------------------------
     def _check(self, pid: int | None) -> None:
@@ -118,6 +131,52 @@ class QueuePair:
         # entry — with a full ring the put blocks, and counting at submit
         # time would let a completion race the acceptance (inflight drift).
         return self.sq.put(request, on_accept=self._account_accept)
+
+    def submit_batch(
+        self, requests: list, pid: int | None = None
+    ) -> tuple[list[Event], list[tuple[Any, BaseException]]]:
+        """Ring one doorbell for several requests.
+
+        Returns ``(accept_events, rejects)``: accept events (in submission
+        order) for the entries handed to the SQ, and ``(request, exc)``
+        pairs for entries the fault hook rejected.  Rejections are per-op —
+        one full-ring injection never takes down its batch-mates — and
+        touch no conservation counters, mirroring ``submit``.
+        """
+        self._check(pid)
+        accepted: list[Any] = []
+        rejects: list[tuple[Any, BaseException]] = []
+        for request in requests:
+            if self.reject_hook is not None:
+                try:
+                    self.reject_hook(self, request)
+                except BaseException as exc:
+                    self.rejected_total += 1
+                    rejects.append((request, exc))
+                    continue
+            self.est_ewma_ns = max(0.7 * self.est_ewma_ns,
+                                   float(getattr(request, "est_ns", 0)))
+            accepted.append(request)
+        accept_events: list[Event] = []
+        if accepted:
+            self.batches_submitted += 1
+            self.batch_ops_submitted += len(accepted)
+            t = self.env.tracer
+            now = self.env.now
+            for request in accepted:
+                if t.obs:
+                    sc = getattr(request, "obs", None)
+                    if sc is not None:
+                        sc.mark_doorbell(now)
+                accept_events.append(
+                    self.sq.put(request, on_accept=self._account_accept_batch))
+            if t.audit:
+                self._audit("doorbell")
+        return accept_events, rejects
+
+    def _account_accept_batch(self, request: Any) -> None:
+        self.batch_ops_accepted += 1
+        self._account_accept(request)
 
     def _account_accept(self, request: Any) -> None:
         self.inflight += 1
@@ -188,6 +247,24 @@ class QueuePair:
         completion = yield self.cq.get()
         yield self.env.timeout(self.pop_cost_ns)
         return completion
+
+    def pop_completion_batch(self, pid: int | None = None, max_n: int = 16):
+        """Process generator: reap up to ``max_n`` completions for one hop.
+
+        Blocks for the first CQE, pays a single ``pop_cost_ns``, then
+        drains whatever else is already sitting in the CQ — the batched
+        MMIO-read amortization of a real CQ reap loop.
+        """
+        self._check(pid)
+        completion = yield self.cq.get()
+        yield self.env.timeout(self.pop_cost_ns)
+        completions = [completion]
+        while len(completions) < max_n:
+            extra = self.cq.try_get()
+            if extra is None:
+                break
+            completions.append(extra)
+        return completions
 
     def drained(self) -> Event:
         """Event firing when no submissions are in flight (upgrade protocol)."""

@@ -70,6 +70,13 @@ class CostModel:
                                     # namespace/registry lookups, completion
     client_dispatch_ns: int = 2200  # same walks client-side when a stack
                                     # executes synchronously (no IPC/worker)
+    # batched submission: one fixed doorbell per batch + a marginal per-op
+    # term replaces the per-request fixed costs, making the amortization
+    # the paper measures explicit (batch of N: fixed + N * marginal)
+    batch_doorbell_ns: int = 1400   # fixed per batch: doorbell ring + the
+                                    # worker's batch-descriptor walk
+    batch_op_ns: int = 350          # marginal per batched op: SQE build
+                                    # client-side, entry decode worker-side
 
     # LabStor I/O-system LabMods
     labfs_create_ns: int = 9000     # log append + inode insert + fd plumbing

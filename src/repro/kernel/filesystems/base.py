@@ -113,30 +113,22 @@ class KernelFilesystem:
         yield self.env.timeout(self.cost.irq_completion_ns)
 
     def _writeback_extent(self, file_id: int, first_page: int, data: bytes):
-        """Batched writeback: consecutive file pages whose device blocks are
-        also contiguous go down as a single large bio (the bump allocator
-        makes sequential files mostly contiguous on disk)."""
+        """Batched writeback: the dirty pages go down as one plug list;
+        the block layer's elevator merges device-contiguous pages into
+        single large bios (the bump allocator makes sequential files
+        mostly contiguous on disk, so an extent is usually one run)."""
         inode = self._inodes_by_ino.get(file_id)
         if inode is None:
             return
             yield  # pragma: no cover - generator
         npages = len(data) // PAGE_SIZE
-        offsets = [self._block_for(inode, first_page + i) for i in range(npages)]
-        procs = []
-        i = 0
-        while i < npages:
-            j = i
-            while j + 1 < npages and offsets[j + 1] == offsets[j] + BLOCK_SIZE:
-                j += 1
-            chunk = data[i * PAGE_SIZE : (j + 1) * PAGE_SIZE]
-
-            def one_bio(off=offsets[i], chunk=chunk):
-                yield from self.block_layer.submit_bio(IoOp.WRITE, off, len(chunk), chunk)
-                yield self.env.timeout(self.cost.irq_completion_ns)
-
-            procs.append(self.env.process(one_bio()))
-            i = j + 1
-        yield self.env.all_of(procs)
+        bios = [
+            (IoOp.WRITE, self._block_for(inode, first_page + i), PAGE_SIZE,
+             data[i * PAGE_SIZE:(i + 1) * PAGE_SIZE])
+            for i in range(npages)
+        ]
+        reqs = yield from self.block_layer.submit_batch_bio(bios)
+        yield self.env.timeout(self.cost.irq_completion_ns * len(reqs))
 
     def _fill_page(self, file_id: int, page_no: int):
         inode = self._inodes_by_ino.get(file_id)

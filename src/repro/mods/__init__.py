@@ -18,6 +18,7 @@ from .labfs.alloc import CentralizedBlockAllocator
 from .labkvs import LabKvs
 from .permissions import PermissionsMod
 from .prefetch import PrefetchMod
+from .sched_batch import BatchSchedMod
 from .sched_blkswitch import BlkSwitchSchedMod
 from .sched_noop import NoOpSchedMod
 from .zns_driver import ZnsDriverMod
@@ -34,6 +35,7 @@ STANDARD_REPO = {
         IoStatsMod,
         PrefetchMod,
         NoOpSchedMod,
+        BatchSchedMod,
         BlkSwitchSchedMod,
         KernelDriverMod,
         SpdkDriverMod,
@@ -55,6 +57,7 @@ __all__ = [
     "PrefetchMod",
     "CentralizedBlockAllocator",
     "NoOpSchedMod",
+    "BatchSchedMod",
     "BlkSwitchSchedMod",
     "DriverMod",
     "KernelDriverMod",

@@ -24,6 +24,7 @@ from ..devices.base import BlockDevice, BlockRequest, IoOp
 from ..devices.pmem import Pmem
 from ..errors import LabStorError
 from ..kernel.block_layer import BlockLayer
+from ..sim import Interrupt
 
 __all__ = ["DriverMod", "KernelDriverMod", "SpdkDriverMod", "DaxDriverMod"]
 
@@ -97,11 +98,15 @@ class KernelDriverMod(DriverMod):
         cost = self.ctx.cost
         self.ios += 1
         self.processed += 1
+        parts = req.payload.get("parts")
         if self._blk is not None:
             # submit_io_to_blk: inherit the kernel block layer's policies
+            # (a merged request is serviced as one bio — kernel semantics)
             yield from x.work(cost.driver_submit_ns, span="driver")
             breq = yield from self._blk.submit_bio(op, offset, size, data, hctx=hctx)
             return breq.result
+        if parts is not None and len(parts) > 1 and op in (IoOp.READ, IoOp.WRITE):
+            return (yield from self._submit_parts(op, offset, data, parts, hctx, x))
         # submit_io_to_hctx: straight into the hardware dispatch queue
         yield from x.work(cost.driver_submit_ns, span="driver")
         breq = BlockRequest(op=op, offset=offset, size=size, data=data,
@@ -111,6 +116,47 @@ class KernelDriverMod(DriverMod):
         # poll_completions: reap without an interrupt
         yield from x.work(cost.driver_poll_ns, span="driver")
         return breq.result
+
+    def _submit_parts(self, op: IoOp, offset: int, data: bytes | None,
+                      parts: list, hctx: int, x: ExecContext):
+        """Submit a scheduler-merged request as per-part hardware commands.
+
+        One ``driver_submit_ns`` covers the merged command; each extra part
+        pays only the marginal ``batch_op_ns``.  The parts land on the hctx
+        back-to-back so the device's coalescing window fuses them — while
+        keeping per-part fault isolation: the fault engine rolls for every
+        constituent BlockRequest separately.
+
+        Returns per-part ``(result, error, submit_ns, complete_ns)`` tuples
+        in parts order (offset-sorted, as the scheduler built them).
+        """
+        cost = self.ctx.cost
+        yield from x.work(cost.driver_submit_ns, span="driver")
+        yield from x.work(cost.batch_op_ns * (len(parts) - 1), span="driver")
+        breqs = []
+        for poff, psize in parts:
+            pdata = None
+            if data is not None:
+                lo = poff - offset
+                pdata = data[lo:lo + psize]
+            breqs.append(BlockRequest(op=op, offset=poff, size=psize, data=pdata,
+                                      hctx=hctx % self.device.nqueues))
+        for breq in breqs:
+            self.device.submit(breq)
+        self.ios += len(parts) - 1
+        outcomes = []
+        for breq in breqs:
+            try:
+                yield from x.wait(breq.done, span="device_io")
+            except Interrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - per-part fault surface
+                outcomes.append((None, exc, breq.submit_ns, breq.complete_ns))
+            else:
+                outcomes.append((breq.result, None, breq.submit_ns, breq.complete_ns))
+        # poll_completions: one reap pass covers the whole run
+        yield from x.work(cost.driver_poll_ns, span="driver")
+        return outcomes
 
 
 class SpdkDriverMod(DriverMod):

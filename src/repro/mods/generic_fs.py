@@ -120,6 +120,75 @@ class GenericFS:
             entry.pos = pos + len(data)
         return data
 
+    def writev(self, fd: int, bufs: list, offset: int | None = None):
+        """Vectored write: the buffers land at consecutive offsets and ride
+        one batched submission (a single doorbell; see Client.submit_batch).
+
+        Returns per-buffer byte counts in order.  Any failed constituent
+        raises its error after the whole batch settles — batch-mates'
+        writes are not rolled back (matching ``pwritev`` semantics where
+        a short/failed vector leaves earlier ones durable).  Vectored ops
+        bypass the retry policy: a partial batch retry would double-apply
+        the already-persisted constituents.
+        """
+        yield from self._intercept()
+        entry = self._entry(fd)
+        pos = entry.pos if offset is None else offset
+        stack = self._stack_for(fd)
+        reqs = []
+        at = pos
+        for data in bufs:
+            reqs.append(LabRequest(
+                op="fs.write", payload={"ino": entry.ino, "offset": at, "data": data}
+            ))
+            at += len(data)
+        comps = yield from self.client.submit_batch(stack, reqs)
+        counts = []
+        first_error = None
+        for comp in comps:
+            if comp.error is not None:
+                if first_error is None:
+                    first_error = comp.error
+                counts.append(0)
+            else:
+                counts.append(comp.value)
+        if first_error is not None:
+            raise first_error
+        if offset is None:
+            entry.pos = pos + sum(counts)
+        return counts
+
+    def readv(self, fd: int, sizes: list, offset: int | None = None):
+        """Vectored read of consecutive extents via one batched submission.
+        Returns the per-extent byte strings in order; like :meth:`writev`,
+        raises the first constituent error after the batch settles."""
+        yield from self._intercept()
+        entry = self._entry(fd)
+        pos = entry.pos if offset is None else offset
+        stack = self._stack_for(fd)
+        reqs = []
+        at = pos
+        for size in sizes:
+            reqs.append(LabRequest(
+                op="fs.read", payload={"ino": entry.ino, "offset": at, "size": size}
+            ))
+            at += size
+        comps = yield from self.client.submit_batch(stack, reqs)
+        chunks = []
+        first_error = None
+        for comp in comps:
+            if comp.error is not None:
+                if first_error is None:
+                    first_error = comp.error
+                chunks.append(b"")
+            else:
+                chunks.append(comp.value)
+        if first_error is not None:
+            raise first_error
+        if offset is None:
+            entry.pos = pos + sum(len(c) for c in chunks)
+        return chunks
+
     def seek(self, fd: int, pos: int):
         yield from self._intercept()
         self._entry(fd).pos = pos

@@ -3,7 +3,8 @@
 A :class:`SpanContext` rides a request end to end and collects virtual-time
 stamps at every hop of its life cycle:
 
-- ``submit_ns``     client ``call()`` issued the request
+- ``submit_ns``     client ``call()``/``submit_batch()`` issued the request
+- ``doorbell_ns``   the batch doorbell rang (equals ``submit_ns`` unbatched)
 - ``accept_ns``     the submission queue accepted the entry
 - ``pop_ns``        a Runtime worker popped the entry and began service
 - ``complete_ns``   the worker finished the stack DAG (completion posted)
@@ -11,15 +12,18 @@ stamps at every hop of its life cycle:
 
 From the stamps the span derives the paper's Fig 4 *anatomy* phases::
 
-    submit     = accept_ns - submit_ns          (SQ acceptance)
+    batch      = doorbell_ns - submit_ns        (SQE build before the doorbell)
+    submit     = accept_ns - doorbell_ns        (SQ acceptance)
     queue      = pop_ns - accept_ns + kqueue_ns (SQ wait + kernel blk layer)
     device     = union of device-wait windows   (clipped to the service window)
     module     = service - kqueue - device      (CPU inside the LabMod DAG)
     completion = reap_ns - complete_ns          (CQ wait + completion hop)
 
-The residual definition of ``module`` guarantees the five phases sum to
+The residual definition of ``module`` guarantees the six phases sum to
 ``reap_ns - submit_ns`` *exactly* (integer nanoseconds, no drift) — the
-invariant the telemetry tests pin down.
+invariant the telemetry tests pin down.  ``batch`` is zero for requests
+submitted one at a time: ``Client.call()`` never stamps a doorbell, and
+``close()`` backfills ``doorbell_ns = submit_ns``.
 
 Device time is recorded as ``(start, end)`` windows rather than a running
 sum so concurrent sub-I/Os inside one request (parallel write-back
@@ -45,7 +49,7 @@ from typing import Any, Optional
 __all__ = ["SpanContext", "PHASES"]
 
 #: the Fig 4 anatomy phases, in request-lifecycle order
-PHASES = ("submit", "queue", "module", "device", "completion")
+PHASES = ("batch", "submit", "queue", "module", "device", "completion")
 
 _span_ids = itertools.count(1)
 
@@ -58,7 +62,7 @@ class SpanContext:
 
     __slots__ = (
         "req_id", "op", "kind", "stack_id", "sync",
-        "submit_ns", "accept_ns", "pop_ns", "complete_ns", "reap_ns",
+        "submit_ns", "doorbell_ns", "accept_ns", "pop_ns", "complete_ns", "reap_ns",
         "kqueue_ns", "device_ns", "cats", "mods", "closed",
         "_windows", "_frames",
     )
@@ -79,6 +83,7 @@ class SpanContext:
         self.stack_id = stack_id
         self.sync = sync
         self.submit_ns = now
+        self.doorbell_ns = -1
         self.accept_ns = -1
         self.pop_ns = -1
         self.complete_ns = -1
@@ -92,6 +97,10 @@ class SpanContext:
         self._frames: list[list] = []
 
     # -- life-cycle stamps ------------------------------------------------
+    def mark_doorbell(self, now: int) -> None:
+        """Batched submission rang the doorbell for this entry's batch."""
+        self.doorbell_ns = now
+
     def mark_accept(self, now: int) -> None:
         self.accept_ns = now
 
@@ -159,6 +168,11 @@ class SpanContext:
         # a span must always produce a consistent, summable record.
         if self.accept_ns < 0:
             self.accept_ns = self.submit_ns
+        # unbatched requests never ring a doorbell: collapse the batch phase
+        # to zero; clamp so batch/submit stay non-negative either way
+        if self.doorbell_ns < 0:
+            self.doorbell_ns = self.submit_ns
+        self.doorbell_ns = min(max(self.doorbell_ns, self.submit_ns), self.accept_ns)
         if self.pop_ns < 0:
             self.pop_ns = self.accept_ns
         if self.complete_ns < 0:
@@ -202,7 +216,8 @@ class SpanContext:
             raise ValueError(f"span {self.req_id} ({self.op}) is still open")
         service = self.complete_ns - self.pop_ns
         return {
-            "submit": self.accept_ns - self.submit_ns,
+            "batch": self.doorbell_ns - self.submit_ns,
+            "submit": self.accept_ns - self.doorbell_ns,
             "queue": (self.pop_ns - self.accept_ns) + self.kqueue_ns,
             "module": service - self.kqueue_ns - self.device_ns,
             "device": self.device_ns,
@@ -217,6 +232,7 @@ class SpanContext:
             "stack_id": self.stack_id,
             "sync": self.sync,
             "submit_ns": self.submit_ns,
+            "doorbell_ns": self.doorbell_ns,
             "accept_ns": self.accept_ns,
             "pop_ns": self.pop_ns,
             "complete_ns": self.complete_ns,

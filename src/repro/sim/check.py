@@ -105,6 +105,7 @@ def reset_global_counters() -> None:
     runs of one scenario must start from identical counter state to be
     comparable.
     """
+    from .. import builder as _builder
     from .. import system as _system
     from ..core import client as _client
     from ..core import labstack as _labstack
@@ -115,6 +116,7 @@ def reset_global_counters() -> None:
     from ..mods.labfs import log as _lablog
 
     _system._uuid_seq = itertools.count(1)
+    _builder._uuid_seq = itertools.count(1)
     _client._pids = itertools.count(1000)
     _labstack._stack_ids = itertools.count(1)
     _requests._req_ids = itertools.count(1)
@@ -274,11 +276,65 @@ def _scenario_faults(audit: AuditRun) -> dict[str, Any]:
     }
 
 
+def _scenario_batching(audit: AuditRun) -> dict[str, Any]:
+    """The batching fast path end to end: vectored writev/readv waves ride
+    Client.submit_batch through worker batch-pop, BatchSchedMod merging and
+    device-level coalescing, so every batch-conservation invariant
+    (san.qp batch counters + san.batch settle records) gets exercised."""
+    from ..core import RuntimeConfig
+    from ..devices.profiles import DeviceSpec
+    from ..mods.generic_fs import GenericFS
+    from ..system import LabStorSystem
+
+    env = Environment()
+    audit.attach(env)
+    system = LabStorSystem(
+        env=env,
+        devices=(DeviceSpec("nvme", coalesce_max=8, coalesce_window_ns=2000),),
+        config=RuntimeConfig(nworkers=1, worker_batch_max=8),
+    )
+    (system.stack("fs::/batch")
+     .fs(variant="all")
+     .sched("BatchSchedMod", window_ns=10_000, batch_max=8)
+     .mount())
+    gfs = GenericFS(system.client())
+
+    def go():
+        fd = yield from gfs.open("fs::/batch/vec.dat", create=True)
+        total = 0
+        for wave in range(4):
+            bufs = [bytes([wave * 16 + i]) * 4096 for i in range(8)]
+            counts = yield from gfs.writev(fd, bufs, offset=wave * 8 * 4096)
+            total += sum(counts)
+        yield from gfs.fsync(fd)
+        chunks = yield from gfs.readv(fd, [4096] * 32, offset=0)
+        yield from gfs.close(fd)
+        return total, chunks
+
+    total, chunks = system.run(system.process(go()))
+    assert total == 32 * 4096, f"writev short ({total} bytes)"
+    for wave in range(4):
+        for i in range(8):
+            want = bytes([wave * 16 + i]) * 4096
+            assert chunks[wave * 8 + i] == want, f"readv mismatch at chunk {wave * 8 + i}"
+    sched = system.runtime.namespace.resolve("fs::/batch")[0].mods["s1.sched"]
+    dev = system.devices["nvme"]
+    assert sched.merged_ops > 0, "BatchSchedMod never merged"
+    return {
+        "bytes": total,
+        "merged_groups": sched.merged_groups,
+        "merged_ops": sched.merged_ops,
+        "coalesced_groups": dev.coalesced_groups,
+        "coalesced_ops": dev.coalesced_ops,
+    }
+
+
 SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {
     "quickstart": _scenario_quickstart,
     "orchestration": _scenario_orchestration,
     "kvs": _scenario_kvs,
     "faults": _scenario_faults,
+    "batching": _scenario_batching,
 }
 
 

@@ -8,9 +8,12 @@ The sanitizer has three layers:
 2. **conservation invariants** — queue-pair counters (``inflight >= 0``,
    ``submitted_total == completed_total + inflight``, ``est_queued_ns``
    non-negative and zero whenever the SQ is empty), store capacity/service
-   discipline, worker in-flight accounting, and orchestrator coverage
+   discipline, worker in-flight accounting, orchestrator coverage
    (every registered queue assigned to a live worker after each rebalance,
-   no stale worker ids in the busy-time bookkeeping);
+   no stale worker ids in the busy-time bookkeeping), and batch
+   conservation — queue-pair batch counters stay consistent with the
+   per-op totals, and every ``san.batch`` record (emitted when a merged
+   run settles) shows N ops ⇒ N outcomes delivered, none twice;
 3. **a determinism checker** — see :mod:`repro.sim.check`, which runs a
    scenario twice under the same seed and compares trace-stream hashes.
 
@@ -109,6 +112,8 @@ class Sanitizer:
             self._check_worker(ev.fields["worker"], ev.time_ns)
         elif cat == "san.rebalance":
             self._check_orchestrator(ev.fields["orch"], ev.time_ns)
+        elif cat == "san.batch":
+            self._check_batch(ev.fields, ev.time_ns)
 
     # ------------------------------------------------------------------
     # per-category invariant checks
@@ -136,6 +141,27 @@ class Sanitizer:
             self._violate(
                 f"{tag} est_queued_ns={qp.est_queued_ns} but the SQ is empty"
             )
+        # batch conservation: batch_ops_submitted counts at the doorbell,
+        # batch_ops_accepted at SQ acceptance — accepted may lag (full
+        # ring) but never exceed submitted, and every batch-accepted op is
+        # also in the per-op total
+        b_doorbells = getattr(qp, "batches_submitted", 0)
+        b_ops = getattr(qp, "batch_ops_submitted", 0)
+        b_acc = getattr(qp, "batch_ops_accepted", 0)
+        if b_doorbells < 0 or b_ops < b_doorbells:
+            self._violate(
+                f"{tag} batch counters inconsistent: doorbells={b_doorbells} "
+                f"> batch_ops={b_ops}"
+            )
+        if b_acc > b_ops:
+            self._violate(
+                f"{tag} accepted {b_acc} batch ops but only {b_ops} were submitted"
+            )
+        if b_acc > qp.submitted_total:
+            self._violate(
+                f"{tag} batch-accepted ops ({b_acc}) exceed the per-op "
+                f"submitted total ({qp.submitted_total}): double accounting"
+            )
 
     def _check_store(self, store: Any, now: int) -> None:
         self._count("store")
@@ -157,6 +183,32 @@ class Sanitizer:
         for qid, n in worker._inflight_per_qp.items():
             if n < 0:
                 self._violate(f"{tag} per-queue inflight negative for QP {qid} ({n})")
+        bp = getattr(worker, "batch_pops", 0)
+        bpo = getattr(worker, "batch_pop_ops", 0)
+        if bpo < 2 * bp:  # a batch pop by definition drained >= 2 SQEs
+            self._violate(
+                f"{tag} batch-pop accounting broken: {bp} batch pops but "
+                f"only {bpo} ops drained"
+            )
+
+    def _check_batch(self, fields: dict, now: int) -> None:
+        """A merged run settled: N constituents must yield exactly N
+        outcomes, each delivered exactly once (no double accounting)."""
+        self._count("batch")
+        source = fields.get("source", "?")
+        ops = fields.get("ops", 0)
+        delivered = fields.get("delivered", 0)
+        double = fields.get("double", 0)
+        if ops < 1:
+            self._violate(f"t={now}: batch from {source} with {ops} ops")
+        if delivered != ops:
+            self._violate(
+                f"t={now}: batch from {source} delivered {delivered}/{ops} outcomes"
+            )
+        if double:
+            self._violate(
+                f"t={now}: batch from {source} double-delivered {double} outcome(s)"
+            )
 
     def _check_orchestrator(self, orch: Any, now: int) -> None:
         self._count("rebalance")

@@ -1,0 +1,311 @@
+"""Differential harness: the batching fast path must be a pure optimization.
+
+Seeded random op sequences (sizes, offsets, and interleaved fsync/crash
+points drawn from the ``"faults"`` RNG stream) run through the batched
+path (Client.submit_batch + worker batch-pop + BatchSchedMod merging +
+device coalescing) and the plain per-op path, and the two must agree
+exactly: byte-identical logical contents, identical per-op results, and
+every span's phases summing to its end-to-end time with zero remainder —
+across Lab-All / Lab-Min / Lab-D and the ext4 kernel baseline (plugged
+vs per-page writeback).
+"""
+
+import pytest
+
+from repro.core.labstack import StackSpec
+from repro.core.requests import LabRequest
+from repro.core.runtime import RuntimeConfig
+from repro.devices.base import BlockDevice, IoOp
+from repro.devices.profiles import DeviceSpec, make_device
+from repro.faults import FaultPlan, FaultSpec
+from repro.kernel import make_filesystem
+from repro.kernel.block_layer import BlockLayer
+from repro.mods.generic_fs import GenericFS
+from repro.obs.telemetry import Telemetry
+from repro.sim import Environment, RngRegistry
+from repro.system import LabStorSystem
+
+PAGE = 4096
+FILE_PAGES = 32
+PATH = "fs::/diff/data"
+
+
+# ----------------------------------------------------------------------
+# workload generation: everything random comes off the "faults" stream
+# ----------------------------------------------------------------------
+def _gen_batches(seed: int, nbatches: int = 10):
+    """Batches of same-kind ops on distinct pages, plus fsync points.
+
+    Within-batch extents are disjoint (batch members execute concurrently)
+    while cross-batch overwrites are fair game — submit_batch settles a
+    whole batch before the next begins.
+    """
+    rng = RngRegistry(seed).stream("faults")
+    batches = []
+    for _ in range(nbatches):
+        k = int(rng.integers(1, 9))
+        pages = sorted(int(p) for p in rng.choice(FILE_PAGES, size=k, replace=False))
+        if rng.random() < 0.65:
+            ops = [("write", p * PAGE, bytes([int(rng.integers(1, 256))]) * PAGE)
+                   for p in pages]
+        else:
+            ops = [("read", p * PAGE, PAGE) for p in pages]
+        batches.append((ops, bool(rng.random() < 0.3)))
+    return batches
+
+
+def _build_system(variant: str, batched: bool):
+    telemetry = Telemetry()
+    if batched:
+        system = LabStorSystem(
+            devices=(DeviceSpec("nvme", coalesce_max=8, coalesce_window_ns=2000),),
+            config=RuntimeConfig(nworkers=1, worker_batch_max=8),
+            telemetry=telemetry,
+        )
+        stack = (system.stack("fs::/diff")
+                 .fs(variant=variant)
+                 .sched("BatchSchedMod", window_ns=10_000, batch_max=8)
+                 .mount())
+    else:
+        system = LabStorSystem(
+            devices=("nvme",),
+            config=RuntimeConfig(nworkers=1),
+            telemetry=telemetry,
+        )
+        stack = system.stack("fs::/diff").fs(variant=variant).mount()
+    return system, stack, GenericFS(system.client()), telemetry
+
+
+def _drive(variant: str, batched: bool, seed: int):
+    """Run the generated workload; returns (per-op results, final bytes,
+    telemetry)."""
+    system, stack, gfs, telemetry = _build_system(variant, batched)
+    batches = _gen_batches(seed)
+
+    def go():
+        fd = yield from gfs.open(PATH, create=True)
+        # identical pre-fill in both paths so reads never straddle EOF
+        yield from gfs.write(fd, b"\x00" * (FILE_PAGES * PAGE), offset=0)
+        ino = gfs._fds[fd].ino
+        results = []
+        for ops, fsync in batches:
+            if batched:
+                reqs = []
+                for op in ops:
+                    if op[0] == "write":
+                        payload = {"ino": ino, "offset": op[1], "data": op[2]}
+                        reqs.append(LabRequest(op="fs.write", payload=payload))
+                    else:
+                        payload = {"ino": ino, "offset": op[1], "size": op[2]}
+                        reqs.append(LabRequest(op="fs.read", payload=payload))
+                comps = yield from gfs.client.submit_batch(stack, reqs)
+                for comp in comps:
+                    assert comp.error is None, f"batched op failed: {comp.error!r}"
+                    results.append(comp.value)
+            else:
+                for op in ops:
+                    if op[0] == "write":
+                        results.append((yield from gfs.write(fd, op[2], offset=op[1])))
+                    else:
+                        results.append((yield from gfs.read(fd, op[2], offset=op[1])))
+            if fsync:
+                yield from gfs.fsync(fd)
+        final = yield from gfs.read(fd, FILE_PAGES * PAGE, offset=0)
+        yield from gfs.close(fd)
+        return results, final
+
+    results, final = system.run(system.process(go()))
+    return results, final, telemetry
+
+
+def _assert_exact_spans(telemetry: Telemetry, label: str):
+    assert telemetry.spans, f"{label}: no spans recorded"
+    for span in telemetry.spans:
+        delta = span.e2e_ns - sum(span.phases().values())
+        assert delta == 0, (
+            f"{label}: span {span.op} phases sum off by {delta} ns "
+            f"(e2e={span.e2e_ns}, phases={span.phases()})"
+        )
+
+
+@pytest.mark.parametrize("variant", ["all", "min", "d"])
+@pytest.mark.parametrize("seed", [3, 11])
+def test_batched_matches_unbatched(variant, seed):
+    base_results, base_final, base_tel = _drive(variant, batched=False, seed=seed)
+    fast_results, fast_final, fast_tel = _drive(variant, batched=True, seed=seed)
+    assert fast_final == base_final, "store contents diverged"
+    assert len(fast_results) == len(base_results)
+    for i, (a, b) in enumerate(zip(base_results, fast_results)):
+        assert a == b, f"op {i} result diverged: {a!r} != {b!r}"
+    _assert_exact_spans(base_tel, f"{variant}/unbatched")
+    _assert_exact_spans(fast_tel, f"{variant}/batched")
+
+
+def test_batched_spans_attribute_batch_phase():
+    """The async batched path must bill doorbell wait into the new
+    ``batch`` phase — and still decompose exactly."""
+    _results, _final, telemetry = _drive("all", batched=True, seed=3)
+    assert any(s.phases().get("batch", 0) > 0 for s in telemetry.spans), \
+        "no span carries batch-phase time"
+
+
+# ----------------------------------------------------------------------
+# ext4 baseline: plugged (merged) writeback vs per-page writeback
+# ----------------------------------------------------------------------
+def _drive_ext4(per_page: bool, seed: int):
+    env = Environment()
+    telemetry = Telemetry().install(env)
+    dev = make_device(env, "nvme")
+    fs = make_filesystem("ext4", env, dev)
+    if per_page:
+        fs.cache._writeback_run = None  # force the unbatched writeback path
+    rng = RngRegistry(seed).stream("faults")
+    writes = []
+    for _ in range(24):
+        page = int(rng.integers(0, FILE_PAGES))
+        writes.append((page * PAGE, bytes([int(rng.integers(1, 256))]) * PAGE,
+                       bool(rng.random() < 0.25)))
+
+    def go():
+        fd = yield env.process(fs.open("/data", create=True))
+        yield env.process(fs.write(fd, b"\x00" * (FILE_PAGES * PAGE), offset=0))
+        for offset, data, fsync in writes:
+            yield env.process(fs.write(fd, data, offset=offset))
+            if fsync:
+                yield env.process(fs.fsync(fd))
+        yield env.process(fs.fsync(fd))
+        out = yield env.process(fs.read(fd, FILE_PAGES * PAGE, offset=0))
+        yield env.process(fs.close(fd))
+        return out
+
+    proc = env.process(go())
+    env.run(proc)
+    return proc.value, fs, telemetry
+
+
+def test_ext4_plugged_writeback_matches_per_page():
+    merged_final, merged_fs, merged_tel = _drive_ext4(per_page=False, seed=5)
+    plain_final, _plain_fs, plain_tel = _drive_ext4(per_page=True, seed=5)
+    assert merged_final == plain_final, "ext4 writeback paths diverged"
+    assert merged_fs.block_layer.merged_bios > 0, "plugged path never merged"
+    _assert_exact_spans(merged_tel, "ext4/plugged")
+    _assert_exact_spans(plain_tel, "ext4/per-page")
+
+
+def test_block_layer_batch_submit_matches_sequential():
+    """N bios via submit_bio and the same bios via submit_batch_bio leave
+    identical device bytes; the batch path merges contiguous runs."""
+    def run(batch: bool):
+        env = Environment()
+        dev = make_device(env, "nvme")
+        layer = BlockLayer(env, dev)
+        bios = [(IoOp.WRITE, i * PAGE, PAGE, bytes([i + 1]) * PAGE) for i in range(8)]
+        bios.append((IoOp.WRITE, 64 * PAGE, PAGE, b"\x77" * PAGE))  # discontiguous
+
+        def go():
+            if batch:
+                yield from layer.submit_batch_bio(bios)
+            else:
+                for op, off, size, data in bios:
+                    yield from layer.submit_bio(op, off, size, data)
+
+        env.run(env.process(go()))
+        return dev.store.read(0, 65 * PAGE), layer
+
+    seq_bytes, _seq_layer = run(batch=False)
+    bat_bytes, bat_layer = run(batch=True)
+    assert bat_bytes == seq_bytes
+    assert bat_layer.merged_bios == 7      # 8 contiguous bios -> one run
+    assert bat_layer.submitted == 2        # merged run + the outlier
+
+
+# ----------------------------------------------------------------------
+# fault isolation: one bad constituent must not poison its batch-mates
+# ----------------------------------------------------------------------
+def test_fault_in_merged_batch_fails_only_that_op():
+    plan = FaultPlan.of(FaultSpec(kind="media_error", device="nvme", op="write",
+                                  probability=1.0, count=1))
+    system = LabStorSystem(
+        devices=(DeviceSpec("nvme", coalesce_max=8, coalesce_window_ns=2000),),
+        config=RuntimeConfig(nworkers=1, worker_batch_max=8),
+        fault_plan=plan,
+    )
+    spec = StackSpec.linear("blk::/b", [("BatchSchedMod", "fi.sched"),
+                                        ("KernelDriverMod", "fi.drv")])
+    spec.nodes[0].attrs = {"nqueues": 8, "window_ns": 10_000, "batch_max": 8}
+    spec.nodes[1].attrs = {"device": "nvme"}
+    stack = system.runtime.mount_stack(spec)
+    client = system.client()
+    reqs = [LabRequest(op="blk.write",
+                       payload={"offset": i * PAGE, "size": PAGE,
+                                "data": bytes([i + 1]) * PAGE})
+            for i in range(4)]
+
+    def go():
+        return (yield from client.submit_batch(stack, reqs))
+
+    comps = system.run(system.process(go()))
+    assert len(comps) == 4
+    errors = [i for i, c in enumerate(comps) if c.error is not None]
+    assert len(errors) == 1, f"expected exactly one failed constituent, got {errors}"
+    sched = stack.mods["fi.sched"]
+    assert sched.merged_groups >= 1, "the batch never merged"
+    store = system.devices["nvme"].store
+    for i, comp in enumerate(comps):
+        if comp.error is None:
+            assert store.read(i * PAGE, PAGE) == bytes([i + 1]) * PAGE, \
+                f"surviving constituent {i} lost its data"
+
+
+# ----------------------------------------------------------------------
+# crash point drawn from the "faults" stream, against the batched path
+# ----------------------------------------------------------------------
+def test_crash_point_spares_acked_batch_constituents():
+    from repro.units import usec
+
+    rng = RngRegistry(7).stream("faults")
+    cut_at = int(rng.integers(80_000, 200_000))
+    plan = FaultPlan.of(FaultSpec(kind="power_cut", at=cut_at,
+                                  restart_after=int(usec(50))))
+    system = LabStorSystem(
+        devices=(DeviceSpec("nvme", coalesce_max=8, coalesce_window_ns=2000),),
+        config=RuntimeConfig(nworkers=1, worker_batch_max=8),
+        fault_plan=plan,
+    )
+    stack = (system.stack("fs::/crash")
+             .fs(variant="min")
+             .sched("BatchSchedMod", window_ns=10_000, batch_max=8)
+             .mount())
+    gfs = GenericFS(system.client())
+
+    def go():
+        fd = yield from gfs.open("fs::/crash/f", create=True)
+        ino = gfs._fds[fd].ino
+        outcomes = []
+        for wave in range(12):
+            reqs = [LabRequest(op="fs.write",
+                               payload={"ino": ino,
+                                        "offset": (wave * 4 + i) * PAGE,
+                                        "data": bytes([wave * 4 + i + 1]) * PAGE})
+                    for i in range(4)]
+            comps = yield from gfs.client.submit_batch(stack, reqs)
+            for i, comp in enumerate(comps):
+                outcomes.append(((wave * 4 + i), comp.error))
+        return outcomes
+
+    outcomes = system.run(system.process(go()))
+    assert system.runtime.crashes >= 1, "the power cut never fired"
+
+    def check():
+        fd = yield from gfs.open("fs::/crash/f")
+        ok = []
+        for slot, error in outcomes:
+            if error is not None:
+                continue  # failed mid-crash: no durability promise
+            data = yield from gfs.read(fd, PAGE, offset=slot * PAGE)
+            ok.append(data == bytes([slot + 1]) * PAGE)
+        yield from gfs.close(fd)
+        return ok
+
+    ok = system.run(system.process(check()))
+    assert ok and all(ok), "acknowledged batched write lost after power cut"

@@ -75,6 +75,56 @@ def test_mount_helpers_do_not_warn(recwarn):
     assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
 
 
+def test_fs_stack_spec_warning_points_at_caller():
+    """stacklevel=2 must attribute the warning to the calling file (this
+    test), not to system.py — that is what makes the deprecation findable."""
+    import warnings
+
+    sys_ = LabStorSystem()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sys_.fs_stack_spec("fs::/w", variant="min")
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1
+    assert dep[0].filename == __file__
+
+
+def test_kvs_stack_spec_warning_points_at_caller():
+    import warnings
+
+    sys_ = LabStorSystem()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sys_.kvs_stack_spec("kvs::/w", variant="min")
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1
+    assert dep[0].filename == __file__
+
+
+# ---------------------------------------------------------------------------
+# sched(**attrs) overlay
+# ---------------------------------------------------------------------------
+def test_sched_attrs_overlay_device_defaults():
+    sys_ = LabStorSystem()
+    spec = (sys_.stack("fs::/s")
+            .fs(variant="min")
+            .sched("BatchSchedMod", window_ns=5000, batch_max=4)
+            .uuid_prefix("sa")
+            .build())
+    sched = next(n for n in spec.nodes if n.uuid.endswith("sched"))
+    assert sched.mod_name == "BatchSchedMod"
+    # derived default survives; explicit attrs overlay it
+    assert sched.attrs == {"nqueues": 8, "window_ns": 5000, "batch_max": 4}
+
+
+def test_sched_without_attrs_unchanged():
+    sys_ = LabStorSystem()
+    spec = (sys_.stack("fs::/s2").fs(variant="min")
+            .sched("NoOpSchedMod").uuid_prefix("sb").build())
+    sched = next(n for n in spec.nodes if n.uuid.endswith("sched"))
+    assert sched.attrs == {"nqueues": 8}
+
+
 # ---------------------------------------------------------------------------
 # builder validation
 # ---------------------------------------------------------------------------

@@ -153,6 +153,75 @@ def test_sanitizer_non_strict_collects_instead_of_raising():
     assert san.report()["checks"]["qp"] >= 1
 
 
+# --- batch conservation -------------------------------------------------
+def test_qp_batch_double_accounting_detected():
+    env = Environment()
+    Sanitizer().install(env)
+    qp = QueuePair(env)
+
+    def proc():
+        accepts, rejects = qp.submit_batch([LabRequest(op="x"), LabRequest(op="y")])
+        assert not rejects
+        yield env.all_of(accepts)
+
+    env.run(env.process(proc()))
+    assert qp.batches_submitted == 1
+    assert qp.batch_ops_submitted == qp.batch_ops_accepted == 2
+    # corrupt: batch books claim more ops than the per-op total ever saw
+    qp.batch_ops_submitted = qp.batch_ops_accepted = 99
+    with pytest.raises(SanitizerError, match="double accounting"):
+        qp.try_pop_request()
+
+
+def test_qp_batch_counter_inconsistency_detected():
+    env = Environment()
+    Sanitizer().install(env)
+    qp = QueuePair(env)
+
+    def proc():
+        accepts, _rejects = qp.submit_batch([LabRequest(op="x")])
+        yield env.all_of(accepts)
+
+    env.run(env.process(proc()))
+    qp.batch_ops_submitted = 0  # corrupt: a doorbell with no ops behind it
+    with pytest.raises(SanitizerError, match="batch counters inconsistent"):
+        qp.try_pop_request()
+
+
+def test_batch_settle_record_must_conserve_ops():
+    env = Environment()
+    san = Sanitizer(strict=False).install(env)
+    env.tracer.emit(env.now, "san.batch", source="test", ops=3, delivered=3, double=0)
+    assert san.violations == []
+    env.tracer.emit(env.now, "san.batch", source="test", ops=3, delivered=2, double=0)
+    assert any("delivered 2/3" in v for v in san.violations)
+    env.tracer.emit(env.now, "san.batch", source="test", ops=3, delivered=3, double=1)
+    assert any("double-delivered" in v for v in san.violations)
+    assert san.report()["checks"]["batch"] == 3
+
+
+def test_worker_batch_pop_accounting_detected():
+    from repro.core.workers import Worker
+
+    env = Environment()
+    Sanitizer().install(env)
+    cpu = Cpu(env, ncores=4)
+    worker = Worker(env, 0, cpu, echo_executor, batch_max=8)
+    worker.batch_pops = 3  # corrupt: pops recorded without drained ops
+    with pytest.raises(SanitizerError, match="batch-pop accounting"):
+        env.tracer.emit(env.now, "san.worker", worker=worker, qp=None)
+
+
+def test_batching_scenario_is_deterministic():
+    d1, r1 = run_scenario("batching")
+    d2, r2 = run_scenario("batching")
+    assert d1 == d2
+    assert r1["violations"] == [] and r2["violations"] == []
+    assert r1["result"]["merged_ops"] > 0
+    assert r1["result"]["coalesced_ops"] >= 0
+    assert r1["checks"].get("batch", 0) > 0, "no san.batch records audited"
+
+
 # --- determinism checker -----------------------------------------------
 def test_determinism_check_passes_on_seeded_scenario(determinism_check):
     def scenario(audit):
