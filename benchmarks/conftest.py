@@ -47,6 +47,35 @@ def _slug(benchmark, label: str) -> str:
     return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Aggregate every ``BENCH_<name>.json`` written this session (or by
+    earlier ones into the same directory) into one ``BENCH_summary.json``
+    index: figure label, row count and artifact path per benchmark, so CI
+    consumers read a single file instead of globbing the directory."""
+    out_dir = _artifact_dir()
+    if not out_dir.is_dir():
+        return
+    entries = {}
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        if path.name == "BENCH_summary.json":
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue  # a partial artifact must not fail the whole session
+        rows = payload.get("rows")
+        entries[payload.get("name", path.stem)] = {
+            "path": path.name,
+            "figure": payload.get("figure"),
+            "rows": len(rows) if isinstance(rows, (list, dict)) else None,
+        }
+    if entries:
+        summary = {"benchmarks": entries, "count": len(entries),
+                   "exitstatus": int(exitstatus)}
+        (out_dir / "BENCH_summary.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
 def run_figure(benchmark, sweep_fn, format_fn, label, artifact: str | None = None):
     """Run a sweep under pytest-benchmark, print its table, and emit the
     ``BENCH_<name>.json`` artifact (name defaults to the test's name with

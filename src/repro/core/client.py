@@ -129,37 +129,39 @@ class LabStorClient:
         raises :class:`~repro.errors.TimeoutError` and fails the pending
         completion event instead of hanging — a late completion for the
         abandoned request is dropped by the poller."""
+        env = self.env
         req.stack_id = stack.stack_id
         req.client_pid = self.pid
-        req.submit_ns = self.env.now
+        req.submit_ns = env._now
         t = self.runtime.tracer
         sc = None
-        if t.obs:
+        if env._obs:
             sc = SpanContext(
-                op=req.op, now=self.env.now, req_id=req.req_id,
+                op=req.op, now=env._now, req_id=req.req_id,
                 stack_id=stack.stack_id, sync=stack.exec_mode == "sync",
             )
             req.obs = sc
-            t.emit(self.env.now, "obs.open", span=sc)
+            t.emit(env._now, "obs.open", span=sc)
         if stack.exec_mode == "sync":
             if sc is not None:
-                sc.mark_dispatched(self.env.now)
+                sc.mark_dispatched(env._now)
             try:
-                value = yield self.env.process(self.runtime.execute_sync(req))
+                value = yield env.process(self.runtime.execute_sync(req))
             finally:
-                req.complete_ns = self.env.now
+                req.complete_ns = env._now
                 if sc is not None:
-                    sc.mark_complete(self.env.now)
-                    sc.close(self.env.now)
-                    t.emit(self.env.now, "obs.span", span=sc)
+                    sc.mark_complete(env._now)
+                    sc.close(env._now)
+                    t.emit(env._now, "obs.span", span=sc)
             self.completed += 1
             return value
         if self.conn is None:
             raise LabStorError(f"client {self.pid} not connected")
-        req.mod_uuid = stack.entry.uuid
-        req.est_ns = stack.entry.est_processing_time(req)
-        deadline = self.env.now + timeout_ns if timeout_ns is not None else None
-        ev = self.env.event()
+        entry = stack.entry
+        req.mod_uuid = entry.uuid
+        req.est_ns = entry.est_processing_time(req)
+        deadline = env._now + timeout_ns if timeout_ns is not None else None
+        ev = env.event()
         self._pending[req.req_id] = ev
         try:
             self.conn.qp.submit(req, pid=self.pid)
@@ -170,19 +172,18 @@ class LabStorClient:
             if isinstance(exc, TimeoutError) and not ev.triggered:
                 ev.fail(exc)  # defused by the stale wait condition
             if sc is not None:
-                sc.close(self.env.now)
-                t.emit(self.env.now, "obs.span", span=sc)
+                sc.close(env._now)
+                t.emit(env._now, "obs.span", span=sc)
             raise
         # completion-side cross-core hop (the submit-side hop is traced by
         # the worker's pop); charged in _poll_completions, attributed here
-        self.runtime.tracer.emit(
-            self.env.now, "span", name="ipc", dur_ns=self.runtime.cost.shm_hop_ns
-        )
+        if env._trace:
+            t.emit(env._now, "span", name="ipc", dur_ns=self.runtime.cost.shm_hop_ns)
         self.completed += 1
         if sc is not None:
             sc.add_cat("ipc", self.runtime.cost.shm_hop_ns)
-            sc.close(self.env.now)
-            t.emit(self.env.now, "obs.span", span=sc)
+            sc.close(env._now)
+            t.emit(env._now, "obs.span", span=sc)
         if comp.error is not None:
             raise comp.error
         return comp.value
@@ -279,19 +280,21 @@ class LabStorClient:
         """Wait with crash detection (the paper's Wait): poll for the
         completion, periodically checking whether the Runtime died.
         ``deadline`` (absolute ns) caps the wait with a TimeoutError."""
+        env = self.env
+        runtime = self.runtime
         while True:
-            if not self.runtime.online:
+            if not runtime.online:
                 yield from self._ride_out_crash()
-            window = self.runtime.config.restart_wait_ns
+            window = runtime.config.restart_wait_ns
             if deadline is not None:
-                if self.env.now >= deadline:
+                if env._now >= deadline:
                     raise TimeoutError(
                         f"client {self.pid}: no completion within the op timeout"
                     )
-                window = min(window, deadline - self.env.now)
-            result = yield self.env.any_of([ev, self.env.timeout(window)])
+                window = min(window, deadline - env._now)
+            result = yield env.any_of([ev, env.timeout(window)])
             if ev in result:
-                return ev.value
+                return ev._value
             # timed out: loop re-checks runtime liveness before waiting again
 
     def _ride_out_crash(self):
@@ -314,9 +317,10 @@ class LabStorClient:
             while self.conn is not None and self.conn.qp is qp:
                 # batch CQ reap: one hop drains whatever the CQ holds
                 comps = yield from qp.pop_completion_batch(self.pid, self.reap_batch_max)
+                pending_pop = self._pending.pop
                 for comp in comps:
-                    ev = self._pending.pop(comp.request.req_id, None)
-                    if ev is not None and not ev.triggered:
+                    ev = pending_pop(comp.request.req_id, None)
+                    if ev is not None and not ev._triggered:
                         ev.succeed(comp)
         except Interrupt:
             return  # client closed: stop reaping

@@ -62,6 +62,8 @@ class ExecContext:
     requests while I/O is in flight.
     """
 
+    __slots__ = ("env", "tracer", "core", "worker_id", "sc")
+
     def __init__(self, env: Environment, tracer: Tracer, core_resource=None,
                  worker_id: int | None = None) -> None:
         self.env = env
@@ -77,35 +79,50 @@ class ExecContext:
 
     def work(self, ns: int, span: str | None = None):
         """Process generator: consume ``ns`` of CPU."""
-        start = self.env.now
-        if self.core is not None:
-            with self.core.request() as grant:
+        env = self.env
+        start = env._now
+        core = self.core
+        if core is not None:
+            # Open-coded version of `with core.request() as grant`: the
+            # try/finally covers both yields, so an Interrupt thrown while
+            # waiting for the grant still releases (= cancels) the claim.
+            grant = core.request()
+            try:
                 yield grant
-                yield self.env.timeout(ns)
+                yield env.timeout(ns)
+            finally:
+                core.release(grant)
         else:
-            yield self.env.timeout(ns)
+            yield env.timeout(ns)
         if span:
-            self.tracer.emit(self.env.now, "span", name=span, dur_ns=self.env.now - start)
+            now = env._now
+            if env._trace:
+                self.tracer.emit(now, "span", name=span, dur_ns=now - start)
             sc = self.sc
             if sc is not None:
-                sc.add_cat(span, self.env.now - start)
+                sc.add_cat(span, now - start)
 
     def wait(self, event, span: str | None = None):
         """Process generator: wait off-core for ``event``."""
-        start = self.env.now
+        env = self.env
+        start = env._now
         value = yield event
         if span:
-            self.tracer.emit(self.env.now, "span", name=span, dur_ns=self.env.now - start)
+            now = env._now
+            if env._trace:
+                self.tracer.emit(now, "span", name=span, dur_ns=now - start)
             sc = self.sc
             if sc is not None:
-                sc.add_cat(span, self.env.now - start)
+                sc.add_cat(span, now - start)
                 if span == "device_io":
-                    sc.add_device_window(start, self.env.now)
+                    sc.add_device_window(start, now)
         return value
 
     def span(self, name: str, dur_ns: int) -> None:
         """Record a span without elapsing time (bookkeeping attribution)."""
-        self.tracer.emit(self.env.now, "span", name=name, dur_ns=dur_ns)
+        env = self.env
+        if env._trace:
+            self.tracer.emit(env._now, "span", name=name, dur_ns=dur_ns)
         sc = self.sc
         if sc is not None:
             sc.add_cat(name, dur_ns)

@@ -98,6 +98,9 @@ class LabStack:
         self.registry = registry
         self.stack_id = next(_stack_ids)
         self.mods: dict[str, LabMod] = {}
+        # entry-root memo: the DAG scan is per-spec, not per-request
+        self._entry_spec: StackSpec | None = None
+        self._entry_root: str | None = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -171,11 +174,17 @@ class LabStack:
     @property
     def entry(self) -> LabMod:
         """The DAG root: the unique node with no incoming edges."""
-        targets = {out for n in self.spec.nodes for out in n.outputs}
-        roots = [n.uuid for n in self.spec.nodes if n.uuid not in targets]
-        if len(roots) != 1:
-            raise StackValidationError(f"stack must have exactly one entry, found {roots}")
-        return self.mods[roots[0]]
+        spec = self.spec
+        if self._entry_spec is not spec:
+            targets = {out for n in spec.nodes for out in n.outputs}
+            roots = [n.uuid for n in spec.nodes if n.uuid not in targets]
+            if len(roots) != 1:
+                raise StackValidationError(
+                    f"stack must have exactly one entry, found {roots}"
+                )
+            self._entry_root = roots[0]
+            self._entry_spec = spec
+        return self.mods[self._entry_root]
 
     def mod_uuids(self) -> list[str]:
         return [n.uuid for n in self.spec.nodes]

@@ -102,8 +102,9 @@ class Worker:
 
     def kick(self) -> None:
         """Re-arm the scan loop (new queue / new work / completion / stop)."""
-        if not self._wake_event.triggered:
-            self._wake_event.succeed()
+        wake = self._wake_event
+        if not wake._triggered:
+            wake.succeed()
 
     def decommission(self) -> None:
         """Stop after finishing in-flight work (orchestrator scale-down)."""
@@ -126,17 +127,17 @@ class Worker:
     # ------------------------------------------------------------------
     def _go_to_sleep_accounting(self) -> None:
         if self._awake_since is not None:
-            self.awake_ns += self.env.now - self._awake_since
+            self.awake_ns += self.env._now - self._awake_since
             self._awake_since = None
 
     def _wake_accounting(self) -> None:
         if self._awake_since is None:
-            self._awake_since = self.env.now
+            self._awake_since = self.env._now
 
     def awake_time(self) -> int:
         total = self.awake_ns
         if self._awake_since is not None:
-            total += self.env.now - self._awake_since
+            total += self.env._now - self._awake_since
         return total
 
     def reset_accounting(self) -> None:
@@ -150,15 +151,18 @@ class Worker:
     def _scan_once(self) -> bool:
         """Try to pop one request from the assigned queues (round-robin).
         Returns True if work was started."""
-        n = len(self.queues)
+        queues = self.queues
+        inflight_per_qp = self._inflight_per_qp
+        n = len(queues)
+        rr = self._rr
         for i in range(n):
-            qp = self.queues[(self._rr + i) % n]
+            qp = queues[(rr + i) % n]
             if qp.primary and qp.flag is QueueFlag.UPDATE_PENDING:
                 qp.ack_update()
                 continue
             if qp.flag is QueueFlag.UPDATE_ACKED:
                 continue  # paused for upgrade
-            if qp.ordered and self._inflight_per_qp.get(qp.qid, 0) > 0:
+            if qp.ordered and inflight_per_qp.get(qp.qid, 0) > 0:
                 continue
             req = qp.try_pop_request()
             if req is not None:
@@ -175,9 +179,8 @@ class Worker:
                     self.batch_pop_ops += len(batch)
                 # account in-flight synchronously so the ordered-queue gate
                 # holds before the request processes get their first step
-                for r in batch:
-                    self.inflight += 1
-                    self._inflight_per_qp[qp.qid] = self._inflight_per_qp.get(qp.qid, 0) + 1
+                self.inflight += len(batch)
+                inflight_per_qp[qp.qid] = inflight_per_qp.get(qp.qid, 0) + len(batch)
                 for idx, r in enumerate(batch):
                     proc = self.env.process(
                         self._run_request(qp, r, lead=(idx == 0), batch_n=len(batch)),
@@ -201,7 +204,7 @@ class Worker:
         env = self.env
         while self.running:
             if self.queues and self.inflight < self.max_inflight and self._scan_once():
-                self._last_work_ns = env.now
+                self._last_work_ns = env._now
                 continue
             # no poppable work: a polling worker discovers new submissions
             # immediately (sub-mus), so wait event-driven; the idle window
@@ -211,7 +214,7 @@ class Worker:
             if self.inflight < self.max_inflight:
                 waits += [qp.sq_nonempty() for qp in self.queues
                           if self._poppable_when_filled(qp)]
-            idle_for = env.now - self._last_work_ns
+            idle_for = env._now - self._last_work_ns
             if self.inflight > 0 or (self.queues and idle_for < self.idle_sleep_ns):
                 # busy-polling: stay awake; give up after the idle window
                 waits.append(env.timeout(max(self.poll_quantum_ns,
@@ -224,7 +227,7 @@ class Worker:
             yield env.any_of(waits)
             self._sleeping = False
             self._wake_accounting()
-            self._last_work_ns = env.now
+            self._last_work_ns = env._now
         self._go_to_sleep_accounting()
 
     def _run_request(self, qp: QueuePair, req: LabRequest, lead: bool = True,
@@ -233,7 +236,7 @@ class Worker:
         x = ExecContext(self.env, self.tracer, core_resource=self.core, worker_id=self.worker_id)
         sc = req.obs
         if sc is not None:
-            sc.mark_pop(self.env.now)
+            sc.mark_pop(self.env._now)
             x.sc = sc
         error = None
         value = None
@@ -271,16 +274,16 @@ class Worker:
             self.failed += 1
         finally:
             self._active.pop(req.req_id, None)
-        req.complete_ns = self.env.now
+        now = self.env._now
+        req.complete_ns = now
         if sc is not None:
-            sc.mark_complete(self.env.now)
+            sc.mark_complete(now)
         self.processed += 1
         self.inflight -= 1
         self._inflight_per_qp[qp.qid] -= 1
-        self._last_work_ns = self.env.now
-        t = self.env.tracer
-        if t.audit:
-            t.emit(self.env.now, "san.worker", worker=self, qp=qp)
+        self._last_work_ns = now
+        if self.env._audit:
+            self.env.tracer.emit(now, "san.worker", worker=self, qp=qp)
         qp.complete(Completion(req, value=value, error=error))
         # a completion can unblock an ordered queue or the inflight cap
         self.kick()

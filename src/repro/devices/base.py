@@ -103,6 +103,13 @@ class DeviceProfile:
     coalesce_max: int = 1
     coalesce_window_ns: int = 0
 
+    def __post_init__(self) -> None:
+        # memo for the deterministic (no-jitter) service-time computation;
+        # workloads hammer a handful of (op, size) pairs, so the float math
+        # and round() collapse to one dict hit.  Not a dataclass field:
+        # it must stay out of eq/hash/repr for the frozen profile.
+        object.__setattr__(self, "_svc_cache", {})
+
     def service_ns(
         self,
         op: IoOp,
@@ -113,6 +120,11 @@ class DeviceProfile:
     ) -> int:
         """Service time for one command. ``seek_frac`` scales the seek term
         (sequential access on an HDD pays almost none of it)."""
+        jittered = self.jitter > 0.0 and rng is not None
+        if not jittered:
+            ns = self._svc_cache.get((op, size, seek_frac))
+            if ns is not None:
+                return ns
         if op is IoOp.READ:
             base = self.read_lat_ns + size / self.read_bw * 1e9
         elif op is IoOp.WRITE:
@@ -122,9 +134,12 @@ class DeviceProfile:
         else:  # TRIM
             base = max(self.read_lat_ns, self.write_lat_ns) // 4
         base += self.seek_ns * seek_frac
-        if self.jitter > 0.0 and rng is not None:
+        if jittered:
             base *= float(rng.lognormal(mean=0.0, sigma=self.jitter))
-        return max(1, round(base))
+        ns = max(1, round(base))
+        if not jittered and len(self._svc_cache) < 4096:
+            self._svc_cache[(op, size, seek_frac)] = ns
+        return ns
 
 
 class BlockDevice:
@@ -174,7 +189,7 @@ class BlockDevice:
         """Queue a request on its hctx; returns the completion event."""
         if not 0 <= req.hctx < self.profile.nqueues:
             raise DeviceError(f"bad hctx {req.hctx}", device=self.name)
-        req.submit_ns = self.env.now
+        req.submit_ns = self.env._now
         req.done = self.env.event()
         self._queues[req.hctx].put(req)
         return req.done
@@ -247,19 +262,20 @@ class BlockDevice:
                     return
 
     def _service(self, req: BlockRequest, slot, qidx: int):
+        env = self.env
         faults = self.faults
-        if faults is not None and faults.stall_until > self.env.now:
+        if faults is not None and faults.stall_until > env._now:
             # injected controller stall: service starts freeze until it lifts
-            yield self.env.timeout(faults.stall_until - self.env.now)
+            yield env.timeout(faults.stall_until - env._now)
         service = self.profile.service_ns(
             req.op, req.size, seek_frac=self._seek_frac(req), rng=self.rng
         )
-        queue_ns = self.env.now - req.submit_ns
+        queue_ns = env._now - req.submit_ns
         self._last_offset = req.offset + req.size
         action = faults.before_service(req) if faults is not None else None
         if action is not None and action.extra_ns:
             service += action.extra_ns  # injected latency spike
-        yield self.env.timeout(service)
+        yield env.timeout(service)
         if action is not None and action.error is not None:
             # injected failure: a torn write persists its sector-aligned
             # prefix, then the command completes with an error — the waiter
@@ -267,7 +283,7 @@ class BlockDevice:
             if req.op is IoOp.WRITE and action.torn_bytes:
                 self.store.write(req.offset, req.data[: action.torn_bytes])
             self._channels.release(slot)
-            req.complete_ns = self.env.now
+            req.complete_ns = env._now
             self.errors += 1
             req.done.fail(action.error)
             if not req.done.callbacks:
@@ -277,12 +293,11 @@ class BlockDevice:
             return
         self._apply(req)
         self._channels.release(slot)
-        req.complete_ns = self.env.now
+        req.complete_ns = env._now
         self.completed += 1
-        t = self.env.tracer
-        if t.obs:
-            t.emit(
-                self.env.now, "obs.device",
+        if env._obs:
+            env.tracer.emit(
+                env._now, "obs.device",
                 device=self.name, hctx=qidx, op=req.op.value, size=req.size,
                 queue_ns=queue_ns, service_ns=service,
             )

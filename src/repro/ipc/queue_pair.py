@@ -161,16 +161,16 @@ class QueuePair:
         if accepted:
             self.batches_submitted += 1
             self.batch_ops_submitted += len(accepted)
-            t = self.env.tracer
-            now = self.env.now
+            env = self.env
+            now = env._now
             for request in accepted:
-                if t.obs:
+                if env._obs:
                     sc = getattr(request, "obs", None)
                     if sc is not None:
                         sc.mark_doorbell(now)
                 accept_events.append(
                     self.sq.put(request, on_accept=self._account_accept_batch))
-            if t.audit:
+            if env._audit:
                 self._audit("doorbell")
         return accept_events, rejects
 
@@ -182,12 +182,12 @@ class QueuePair:
         self.inflight += 1
         self.submitted_total += 1
         self.est_queued_ns += getattr(request, "est_ns", 0)
-        t = self.env.tracer
-        if t.obs:
+        env = self.env
+        if env._obs:
             sc = getattr(request, "obs", None)
             if sc is not None:
-                sc.mark_accept(self.env.now)
-        if t.audit:
+                sc.mark_accept(env._now)
+        if env._audit:
             self._audit("submit")
 
     def pop_request(self, pid: int | None = None):
@@ -197,8 +197,7 @@ class QueuePair:
         # the entry left the SQ now; deduct before the hop-cost timeout so
         # est_queued_ns never transiently covers already-popped work
         self.est_queued_ns -= getattr(request, "est_ns", 0)
-        t = self.env.tracer
-        if t.audit:
+        if self.env._audit:
             self._audit("pop")
         yield self.env.timeout(self.pop_cost_ns)
         return request
@@ -209,8 +208,7 @@ class QueuePair:
         item = self.sq.try_get()
         if item is not None:
             self.est_queued_ns -= getattr(item, "est_ns", 0)
-            t = self.env.tracer
-            if t.audit:
+            if self.env._audit:
                 self._audit("pop")
         return item
 
@@ -232,8 +230,7 @@ class QueuePair:
             raise IpcError(f"QP {self.qid}: completion without submission")
         self.inflight -= 1
         self.completed_total += 1
-        t = self.env.tracer
-        if t.audit:
+        if self.env._audit:
             self._audit("complete")
         if self.inflight == 0:
             waiters, self._drain_waiters = self._drain_waiters, []

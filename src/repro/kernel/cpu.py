@@ -85,9 +85,21 @@ class CostModel:
     generic_fs_ns: int = 200        # client-side interception + fd table
     compress_ns_per_byte: float = 0.6  # ~zlib throughput the paper observed
 
+    def __post_init__(self) -> None:
+        # memo for copy_ns: workloads copy the same handful of sizes over
+        # and over, so the float divide + round collapse to one dict hit.
+        # object.__setattr__ keeps it out of the frozen dataclass's fields
+        # (and out of eq/hash/repr).
+        object.__setattr__(self, "_copy_cache", {})
+
     def copy_ns(self, size: int) -> int:
         """memcpy cost for ``size`` bytes (linear in pages)."""
-        return max(100, round(self.copy_per_page_ns * size / 4096))
+        ns = self._copy_cache.get(size)
+        if ns is None:
+            ns = max(100, round(self.copy_per_page_ns * size / 4096))
+            if len(self._copy_cache) < 4096:
+                self._copy_cache[size] = ns
+        return ns
 
     def with_overrides(self, **kw) -> "CostModel":
         return replace(self, **kw)

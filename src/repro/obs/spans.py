@@ -140,10 +140,15 @@ class SpanContext:
         return frame
 
     def exit_mod(self, frame: list, now: int) -> None:
-        try:
-            self._frames.remove(frame)
-        except ValueError:
-            return  # frame already retired (defensive: unmatched exit)
+        frames = self._frames
+        if frames and frames[-1] is frame:
+            # the overwhelmingly common case: exits nest LIFO
+            frames.pop()
+        else:
+            try:
+                frames.remove(frame)
+            except ValueError:
+                return  # frame already retired (defensive: unmatched exit)
         total = now - frame[_F_START]
         if self._frames:
             self._frames[-1][_F_CHILD] += total

@@ -8,11 +8,34 @@ integer nanosecond counter.
 Determinism: events scheduled for the same timestamp are executed in
 (priority, insertion-order) order, so a seeded run always produces the
 same trace.
+
+Wall-clock hot path: this module is the floor under every events/sec
+number the repro can produce (see ``python -m repro.sim.profile``), so
+the per-event path is deliberately flat:
+
+- tracer gate flags are mirrored into ``env._audit`` / ``env._obs`` /
+  ``env._trace`` (see :class:`~repro.sim.trace.Tracer`), so allocation
+  and scheduling test one attribute instead of ``env.tracer.audit``;
+- :class:`Timeout` and :class:`Condition` objects are recycled through
+  per-environment free lists.  An object is returned to its pool only
+  when the engine holds the *sole* remaining reference at the end of its
+  processing step (``sys.getrefcount`` guard), so any event retained by
+  user code, a waiter list, or a condition is never recycled under it.
+  Pooling is disabled while a sanitizer is attached (``env._audit``) so
+  the event-lifecycle audit sees every allocation, and it never changes
+  scheduling: recycled events take fresh insertion ids from the same
+  ``_eid`` counter, leaving virtual-time order — and therefore the
+  determinism digests — untouched;
+- ``run()`` inlines the per-event step (one function call per event is
+  ~10% of the engine's disabled-path budget).  ``step()`` stays the
+  single-event reference implementation with identical semantics.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
@@ -22,6 +45,12 @@ from .trace import Tracer
 URGENT = 0
 NORMAL = 1
 LOW = 2
+
+#: free-list cap per event class; beyond this, objects fall to the GC.
+#: Sized above the largest in-flight burst the reference workloads produce
+#: (a fio sweep holds ~an iodepth's worth of window timeouts per client),
+#: so a burst returning all at once is retained instead of dropped.
+POOL_MAX = 1024
 
 __all__ = [
     "Environment",
@@ -61,7 +90,8 @@ class Event:
     exception thrown into them.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused",
+                 "_seid")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -71,9 +101,8 @@ class Event:
         self._triggered = False
         self._processed = False
         self._defused = False
-        t = env.tracer
-        if t.audit:
-            t.emit(env._now, "san.ev_new", event=self)
+        if env._audit:
+            env.tracer.emit(env._now, "san.ev_new", event=self)
 
     # -- state inspection ---------------------------------------------
     @property
@@ -103,7 +132,18 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._schedule(self, delay=0, priority=priority)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        if priority:
+            if priority == 1:
+                self._seid = eid
+                env._due.append(self)
+            else:
+                heappush(env._heap, (env._now, priority, eid, self))
+        else:
+            # URGENT now-events take the FIFO fast lane (see _schedule)
+            self._seid = eid
+            env._urgent.append(self)
         return self
 
     def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
@@ -135,11 +175,16 @@ class Timeout(Event):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(env)
-        self.delay = int(delay)
+        self.delay = delay = int(delay)
         self._triggered = True
         self._ok = True
         self._value = value
-        env._schedule(self, delay=self.delay, priority=NORMAL)
+        env._eid = eid = env._eid + 1
+        if delay:
+            heappush(env._heap, (env._now + delay, NORMAL, eid, self))
+        else:
+            self._seid = eid
+            env._due.append(self)
 
 
 class Initialize(Event):
@@ -148,12 +193,19 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self.callbacks = [process._resume]
-        self._triggered = True
-        self._ok = True
+        # inlined Event.__init__ (same field order, same audit emit)
+        self.env = env
+        self.callbacks = [process._rcb]
         self._value = None
-        env._schedule(self, delay=0, priority=URGENT)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        if env._audit:
+            env.tracer.emit(env._now, "san.ev_new", event=self)
+        env._eid = eid = env._eid + 1
+        self._seid = eid
+        env._urgent.append(self)
 
 
 class Process(Event):
@@ -164,7 +216,7 @@ class Process(Event):
     inside the generator succeeds the process event with that value.
     """
 
-    __slots__ = ("_generator", "_target", "name", "daemon")
+    __slots__ = ("_generator", "_target", "name", "daemon", "_rcb")
 
     def __init__(
         self,
@@ -175,14 +227,27 @@ class Process(Event):
     ) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        # inlined Event.__init__ (same field order, same audit emit)
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+        if env._audit:
+            env.tracer.emit(env._now, "san.ev_new", event=self)
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         #: daemon processes (worker loops, pollers) are expected to be
         #: still waiting at teardown; the sanitizer's leak audit skips them
         self.daemon = daemon
-        Initialize(env, self)
+        # the one bound `_resume` this process ever subscribes with — a
+        # fresh bound method per yield is pure allocator traffic (they
+        # compare equal, so interrupt()'s remove() keeps working)
+        self._rcb = self._resume
+        env._init_event(self)
 
     @property
     def is_alive(self) -> bool:
@@ -199,59 +264,69 @@ class Process(Event):
         event._value = Interrupt(cause)
         event._defused = True
         event._triggered = True
-        event.callbacks = [self._resume]
+        event.callbacks = [self._rcb]
         self.env._schedule(event, delay=0, priority=URGENT)
         # Unsubscribe from the event the process was waiting on: the wait
         # continues to stand (SimPy semantics: the interrupted process may
         # re-yield the same event), but this resume path must not fire twice.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._rcb)
             except ValueError:
                 pass
         self._target = None
 
     def _resume(self, event: Event) -> None:
-        t = self.env.tracer
-        if t.audit:
-            t.emit(self.env._now, "san.resume", process=self, event=event)
-        self.env._active_proc = self
+        env = self.env
+        if env._audit:
+            env.tracer.emit(env._now, "san.resume", process=self, event=event)
+        # Drop the subscription ref now: the wait is over, and a stale
+        # _target would keep the processed event out of the free lists.
+        self._target = None
+        env._active_proc = self
+        generator = self._generator
         try:
             while True:
                 try:
                     if event._ok:
-                        next_event = self._generator.send(event._value)
+                        next_event = generator.send(event._value)
                     else:
                         event._defused = True
-                        next_event = self._generator.throw(event._value)
+                        next_event = generator.throw(event._value)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
                     self._triggered = True
-                    self.env._schedule(self, delay=0, priority=NORMAL)
+                    env._eid = eid = env._eid + 1
+                    self._seid = eid
+                    env._due.append(self)
                     break
                 except BaseException as exc:  # noqa: BLE001 - process crashed
                     self._ok = False
                     self._value = exc
                     self._triggered = True
-                    self.env._schedule(self, delay=0, priority=NORMAL)
+                    env._eid = eid = env._eid + 1
+                    self._seid = eid
+                    env._due.append(self)
                     break
 
-                if not isinstance(next_event, Event):
+                try:
+                    callbacks = next_event.callbacks
+                except AttributeError:
                     raise SimulationError(
                         f"process {self.name!r} yielded {next_event!r}, expected an Event"
-                    )
-                if next_event.env is not self.env:
+                    ) from None
+                if next_event.env is not env:
                     raise SimulationError("yielded event belongs to a different Environment")
-                if next_event.callbacks is not None:
+                if callbacks is not None:
                     # Event still pending or scheduled: subscribe and suspend.
-                    next_event.callbacks.append(self._resume)
+                    callbacks.append(self._rcb)
                     self._target = next_event
                     break
                 # Event already processed: loop and feed its value straight in.
                 event = next_event
         finally:
-            self.env._active_proc = None
+            env._active_proc = None
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'dead' if self._triggered else 'alive'}>"
@@ -287,24 +362,42 @@ class Condition(Event):
     __slots__ = ("_events", "_count", "_needed")
 
     def __init__(self, env: "Environment", events: Iterable[Event], needed: int) -> None:
-        super().__init__(env)
-        self._events = list(events)
+        # inlined Event.__init__ (same field order, same audit emit)
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+        if env._audit:
+            env.tracer.emit(env._now, "san.ev_new", event=self)
+        self._arm(list(events), needed)
+
+    def _arm(self, events: list[Event], needed: int) -> None:
+        """Bind to a fresh set of sub-events (shared by init and pool reuse)."""
+        self._events = events
         self._count = 0
-        self._needed = needed if needed >= 0 else len(self._events)
-        if not self._events:
+        self._needed = needed if needed >= 0 else len(events)
+        if not events:
             self.succeed(ConditionValue([]))
             return
-        for ev in self._events:
-            if ev.env is not env:
-                raise SimulationError("condition spans multiple Environments")
+        env = self.env
         # Subscribe to *every* sub-event, even after the condition has
         # already triggered: _check must keep watching so a late failure
         # on an unwatched sub-event is defused instead of crashing step().
-        for ev in self._events:
+        # The bound method is deliberately created fresh per arm: each live
+        # subscription then holds a reference chain back to this condition,
+        # which is exactly what keeps the refcount recycler from reclaiming
+        # a condition that a pending loser could still call back into.
+        check = self._check
+        for ev in events:
+            if ev.env is not env:
+                raise SimulationError("condition spans multiple Environments")
             if ev.callbacks is None:
-                self._check(ev)
+                check(ev)
             else:
-                ev.callbacks.append(self._check)
+                ev.callbacks.append(check)
 
     def _check(self, event: Event) -> None:
         if self._triggered:
@@ -315,11 +408,35 @@ class Condition(Event):
             return
         if not event._ok:
             event._defused = True
+            self._release_losers()
             self.fail(event._value)
             return
         self._count += 1
         if self._count >= self._needed:
-            self.succeed(ConditionValue([ev for ev in self._events if ev._triggered]))
+            value = ConditionValue([ev for ev in self._events if ev._triggered])
+            self._release_losers()
+            self.succeed(value)
+
+    def _release_losers(self) -> None:
+        """Cut the references that tie this condition to its still-pending
+        sub-events once the outcome is decided.
+
+        The subscription on a pending loser exists only to defuse a late
+        *failure* (see _arm).  A Timeout can never fail — it is born
+        triggered-ok — so its callback entry is pure ballast, and worse, it
+        forms a cycle (timeout -> _check -> condition -> value -> timeout
+        for an any_of window) that keeps every poll-window timeout out of
+        the free lists until GC.  Failable sub-events keep their entry.
+        """
+        check = self._check
+        for ev in self._events:
+            cbs = ev.callbacks
+            if cbs is not None and type(ev) is Timeout:
+                try:
+                    cbs.remove(check)
+                except ValueError:
+                    pass
+        self._events = ()
 
 
 class Environment:
@@ -328,10 +445,47 @@ class Environment:
     def __init__(self, initial_time: int = 0, tracer: Tracer | None = None) -> None:
         self._now = int(initial_time)
         self._heap: list[tuple[int, int, int, Event]] = []
+        # URGENT zero-delay events (grants, store accepts, process kicks)
+        # bypass the heap: they are always scheduled *at the current time*
+        # with the highest priority, so they sort before every heap entry
+        # and among themselves by insertion id — exactly deque FIFO order.
+        # They are also the heap's worst case (a new minimum on every push),
+        # so the fast lane saves two full-depth sift passes per event.
+        # Lane entries are bare events; the insertion id rides on the
+        # event itself (``_seid``) so no per-schedule tuple is allocated.
+        self._urgent: deque[Event] = deque()
+        # Same fast lane for NORMAL zero-delay events (watcher/wake fires,
+        # process completions, timeout(0)).  Correct because eids grow
+        # monotonically with virtual time: a same-time NORMAL heap entry
+        # was necessarily scheduled at an *earlier* virtual time (it had a
+        # positive delay), so its eid is smaller than every _due entry's
+        # and the heap-vs-deque tie always resolves to the heap.
+        self._due: deque[Event] = deque()
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        # cached tracer gate flags; kept in sync by Tracer's flag setters
+        self._trace = False
+        self._audit = False
+        self._obs = False
+        # free lists (see module docstring); counters are public so the
+        # stress tests can assert the pool actually cycles
+        self._event_pool: list[Event] = []
+        self._timeout_pool: list[Timeout] = []
+        self._cond_pool: list[Condition] = []
+        self._proc_pool: list[Process] = []
+        self._init_pool: list[Initialize] = []
+        self._pools: dict[type, list] = {
+            Event: self._event_pool,
+            Timeout: self._timeout_pool,
+            Condition: self._cond_pool,
+            Process: self._proc_pool,
+            Initialize: self._init_pool,
+        }
+        self.pool_reused = 0
+        self.pool_returned = 0
         #: shared pub/sub seam for spans and sanitizer audit hooks
         self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer._attach_env(self)
 
     # -- clock ----------------------------------------------------------
     @property
@@ -345,54 +499,208 @@ class Environment:
 
     # -- factories ------------------------------------------------------
     def event(self) -> Event:
+        pool = self._event_pool
+        if pool and not self._audit:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = None
+            ev._ok = True
+            ev._triggered = False
+            ev._processed = False
+            ev._defused = False
+            self.pool_reused += 1
+            return ev
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool and not self._audit:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            to = pool.pop()
+            to.callbacks = []
+            to._value = value
+            to._ok = True
+            to._triggered = True
+            to._processed = False
+            to._defused = False
+            to.delay = delay = int(delay)
+            self._eid = eid = self._eid + 1
+            if delay:
+                heappush(self._heap, (self._now + delay, NORMAL, eid, to))
+            else:
+                to._seid = eid
+                self._due.append(to)
+            self.pool_reused += 1
+            return to
         return Timeout(self, delay, value)
 
     def process(
         self, generator: Generator, name: str | None = None, daemon: bool = False
     ) -> Process:
+        pool = self._proc_pool
+        if pool and not self._audit:
+            if not hasattr(generator, "throw"):
+                raise SimulationError(f"{generator!r} is not a generator")
+            proc = pool.pop()
+            proc.callbacks = []
+            proc._value = None
+            proc._ok = True
+            proc._triggered = False
+            proc._processed = False
+            proc._defused = False
+            proc._generator = generator
+            proc._target = None
+            proc.name = name or getattr(generator, "__name__", "process")
+            proc.daemon = daemon
+            self.pool_reused += 1
+            self._init_event(proc)
+            return proc
         return Process(self, generator, name=name, daemon=daemon)
+
+    def _init_event(self, process: Process) -> None:
+        """Schedule the URGENT kick for a new process (pooled when possible)."""
+        pool = self._init_pool
+        if pool and not self._audit:
+            ini = pool.pop()
+            ini.callbacks = [process._rcb]
+            ini._value = None
+            ini._ok = True
+            ini._triggered = True
+            ini._processed = False
+            ini._defused = False
+            self._eid = eid = self._eid + 1
+            ini._seid = eid
+            self._urgent.append(ini)
+            self.pool_reused += 1
+        else:
+            Initialize(self, process)
 
     def all_of(self, events: Iterable[Event]) -> Condition:
         events = list(events)
-        return Condition(self, events, needed=len(events))
+        return self._condition(events, needed=len(events))
 
     def any_of(self, events: Iterable[Event]) -> Condition:
-        return Condition(self, events, needed=1)
+        return self._condition(list(events), needed=1)
+
+    def _condition(self, events: list[Event], needed: int) -> Condition:
+        pool = self._cond_pool
+        if pool and not self._audit:
+            cond = pool.pop()
+            cond.callbacks = []
+            cond._value = None
+            cond._ok = True
+            cond._triggered = False
+            cond._processed = False
+            cond._defused = False
+            cond._arm(events, needed)
+            self.pool_reused += 1
+            return cond
+        return Condition(self, events, needed)
 
     # -- scheduling -----------------------------------------------------
     def _schedule(self, event: Event, delay: int, priority: int = NORMAL) -> None:
-        self._eid += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        if delay == 0:
+            if priority == NORMAL:
+                event._seid = eid
+                self._due.append(event)
+                return
+            if priority == URGENT:
+                event._seid = eid
+                self._urgent.append(event)
+                return
+        heappush(self._heap, (self._now + delay, priority, eid, event))
 
     def peek(self) -> int:
         """Time of the next scheduled event, or a huge sentinel if empty."""
+        if self._urgent or self._due:
+            return self._now
         return self._heap[0][0] if self._heap else 2**63
 
-    def step(self) -> None:
-        """Process exactly one event."""
+    def _pop_event(self) -> tuple[int, int, Event]:
+        """Pop the next event in strict (time, priority, eid) order.
+
+        Returns ``(prio, eid, event)`` with ``self._now`` advanced.  The
+        urgent lane wins unless the heap top is an URGENT event at the
+        current time with a smaller insertion id (only possible for an
+        externally scheduled URGENT event with a positive delay).  The
+        due lane loses any same-time tie against the heap: a same-time
+        heap entry either has higher priority or — having been scheduled
+        at an earlier virtual time — a smaller insertion id.
+        """
+        heap = self._heap
+        urgent = self._urgent
+        if urgent:
+            if heap:
+                top = heap[0]
+                if top[1] == 0 and top[0] == self._now and top[2] < urgent[0]._seid:
+                    heappop(heap)
+                    return 0, top[2], top[3]
+            event = urgent.popleft()
+            return 0, event._seid, event
+        due = self._due
+        if due:
+            if heap:
+                top = heap[0]
+                if top[0] == self._now and top[1] <= 1:
+                    heappop(heap)
+                    return top[1], top[2], top[3]
+            event = due.popleft()
+            return 1, event._seid, event
         try:
-            when, _prio, _eid, event = heapq.heappop(self._heap)
+            when, prio, eid, event = heappop(heap)
         except IndexError:
             raise SimulationError("no scheduled events") from None
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
-        t = self.tracer
-        if t.audit:
-            t.emit(when, "san.step", kind=type(event).__name__,
-                   name=getattr(event, "name", None), ok=event._ok, prio=_prio)
-        callbacks, event.callbacks = event.callbacks, None
+        return prio, eid, event
+
+    def _recycle(self, event: Event) -> None:
+        """Return a just-processed engine-owned event to its free list.
+
+        Only when the engine holds the sole surviving reference (the
+        caller's local plus the helper frame plus getrefcount's argument;
+        a Process counts one more for its cached ``_rcb`` self-reference):
+        anything retained by user code, a waiter, or a condition keeps its
+        object.  Disabled under audit so the sanitizer sees every
+        allocation.
+        """
+        cls = event.__class__
+        pool = self._pools.get(cls)
+        if pool is None or len(pool) >= POOL_MAX:
+            return
+        if getrefcount(event) != (4 if cls is Process else 3):
+            return
+        event._value = None
+        if cls is Condition:
+            event._events = ()
+        elif cls is Process:
+            event._generator = None
+            event._target = None
+        pool.append(event)
+        self.pool_returned += 1
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        _prio, _eid, event = self._pop_event()
+        if self._audit:
+            self.tracer.emit(self._now, "san.step", kind=type(event).__name__,
+                             name=getattr(event, "name", None), ok=event._ok, prio=_prio)
+        callbacks = event.callbacks
+        event.callbacks = None
         event._processed = True
-        for cb in callbacks or ():
-            cb(event)
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
         if not event._ok and not event._defused:
             # An unhandled failure: crash the simulation loudly rather than
             # silently dropping the error.
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+        if not self._audit:
+            self._recycle(event)
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time, an Event, or heap exhaustion).
@@ -416,12 +724,99 @@ class Environment:
             if stop_at <= self._now:
                 raise SimulationError(f"run(until={stop_at}) is not in the future (now={self._now})")
 
+        # The inlined event loop: semantically identical to
+        #   while self._heap or self._urgent or self._due: self.step()
+        # but without the per-event call and attribute traffic.  Any change
+        # here must be mirrored in step()/_pop_event() (and vice versa).
+        heap = self._heap
+        urgent = self._urgent
+        due = self._due
+        pools = self._pools
+        pools_get = pools.get
+        proc_pool = self._proc_pool
+        pop_heap = heappop
+        refcount = getrefcount
         try:
-            while self._heap:
-                if stop_at is not None and self.peek() > stop_at:
-                    self._now = stop_at
+            while True:
+                if urgent:
+                    # Fast lane; the heap top only outranks it in the
+                    # external URGENT-with-delay corner (see _pop_event).
+                    if heap:
+                        top = heap[0]
+                        if top[1] == 0 and top[0] == self._now and top[2] < urgent[0]._seid:
+                            pop_heap(heap)
+                            _prio, event = 0, top[3]
+                        else:
+                            event = urgent.popleft()
+                            _prio = 0
+                    else:
+                        event = urgent.popleft()
+                        _prio = 0
+                elif due:
+                    # NORMAL delay-0 lane; a same-time heap entry always
+                    # outranks it (higher priority or smaller eid — see
+                    # _pop_event).
+                    if heap:
+                        top = heap[0]
+                        if top[0] == self._now and top[1] <= 1:
+                            pop_heap(heap)
+                            _prio, event = top[1], top[3]
+                        else:
+                            event = due.popleft()
+                            _prio = 1
+                    else:
+                        event = due.popleft()
+                        _prio = 1
+                elif heap:
+                    if stop_at is not None and heap[0][0] > stop_at:
+                        self._now = stop_at
+                        break
+                    when, _prio, _eid, event = pop_heap(heap)
+                    if when < self._now:
+                        raise SimulationError("event scheduled in the past")
+                    self._now = when
+                else:
                     break
-                self.step()
+                audit = self._audit
+                if audit:
+                    self.tracer.emit(self._now, "san.step", kind=type(event).__name__,
+                                     name=getattr(event, "name", None),
+                                     ok=event._ok, prio=_prio)
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if callbacks:
+                    for cb in callbacks:
+                        cb(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+                if not audit:
+                    # inlined _recycle (refcount == 2: just `event` + the
+                    # getrefcount argument — no helper frame here).  The
+                    # refcount test runs first: it is one C call and rejects
+                    # most non-recyclable events before any dict traffic.
+                    # A Process carries its cached `_rcb` bound method, a
+                    # deliberate self-cycle, so its sole-reference count is
+                    # one higher.
+                    rc = refcount(event)
+                    if rc == 2:
+                        cls = event.__class__
+                        pool = pools_get(cls)
+                        if pool is not None and len(pool) < POOL_MAX:
+                            event._value = None
+                            if cls is Condition:
+                                event._events = ()
+                            pool.append(event)
+                            self.pool_returned += 1
+                    elif rc == 3 and event.__class__ is Process:
+                        pool = proc_pool
+                        if len(pool) < POOL_MAX:
+                            event._value = None
+                            event._generator = None
+                            event._target = None
+                            pool.append(event)
+                            self.pool_returned += 1
         except StopSimulation:
             assert stop_event is not None
             if not stop_event._ok:

@@ -11,10 +11,11 @@
 from __future__ import annotations
 
 from collections import deque
+from sys import getrefcount
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
-from .core import Environment, Event, NORMAL, URGENT
+from .core import Environment, Event, NORMAL, POOL_MAX, URGENT
 
 __all__ = ["Resource", "PriorityResource", "Store", "FilterStore", "Container"]
 
@@ -25,11 +26,22 @@ class _Request(Event):
     __slots__ = ("resource", "priority", "_order")
 
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
-        super().__init__(resource.env)
+        # Inlined Event.__init__ (same field order, same audit emit): the
+        # request/grant cycle runs once per work() call, so the extra
+        # super() hop is measurable on the engine hot path.
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+        if env._audit:
+            env.tracer.emit(env._now, "san.ev_new", event=self)
         self.resource = resource
         self.priority = priority
-        resource._order += 1
-        self._order = resource._order
+        resource._order = self._order = resource._order + 1
         resource._queue.append(self)
         resource._trigger_grants()
 
@@ -59,6 +71,12 @@ class Resource:
         self._users: set[_Request] = set()
         self._queue: deque[_Request] = deque()
         self._order = 0
+        # request free list: grant/release cycles dominate event allocation
+        # on the engine hot path (one _Request per ExecContext.work call),
+        # and the engine's own recycler can never reclaim them — at
+        # processing time a request is still referenced by the users set
+        # and the waiting frame.  Release() is the natural reclaim point.
+        self._req_pool: list[_Request] = []
         # cumulative integral of `count` over time, for utilization accounting
         self._busy_ns = 0
         self._last_change = env.now
@@ -74,13 +92,46 @@ class Resource:
         return len(self._queue)
 
     def request(self, priority: int = 0) -> _Request:
+        pool = self._req_pool
+        if pool and not self.env._audit:
+            req = pool.pop()
+            req.callbacks = []
+            req._value = None
+            req._ok = True
+            req._triggered = False
+            req._processed = False
+            req._defused = False
+            req.priority = priority
+            self._order = req._order = self._order + 1
+            self._queue.append(req)
+            self.env.pool_reused += 1
+            self._trigger_grants()
+            return req
         return _Request(self, priority)
 
     def release(self, request: _Request) -> None:
-        if request in self._users:
-            self._account()
-            self._users.discard(request)
+        users = self._users
+        if request in users:
+            # inlined self._account(): release is once-per-work-call hot
+            now = self.env._now
+            self._busy_ns += (now - self._last_change) * len(users)
+            self._last_change = now
+            users.discard(request)
             self._trigger_grants()
+            # Reclaim the request when the releasing frame holds the sole
+            # surviving reference (its local + our parameter + getrefcount's
+            # argument).  `_processed` guards the crash/interrupt path: a
+            # granted-but-unprocessed request may still sit on a scheduling
+            # lane and must not be reused under it.  Disabled under audit so
+            # the sanitizer sees every allocation (mirrors the engine pools).
+            if (
+                request._processed
+                and not self.env._audit
+                and len(self._req_pool) < POOL_MAX
+                and getrefcount(request) == 3
+            ):
+                self._req_pool.append(request)
+                self.env.pool_returned += 1
         else:
             request.cancel()
 
@@ -90,38 +141,52 @@ class Resource:
 
     # -- internals ------------------------------------------------------
     def _account(self) -> None:
-        now = self.env.now
+        now = self.env._now
         self._busy_ns += (now - self._last_change) * len(self._users)
         self._last_change = now
 
-    def _next_request(self) -> Optional[_Request]:
-        return self._queue[0] if self._queue else None
+    def _pop_next(self) -> _Request:
+        """Remove and return the next request to grant (queue non-empty)."""
+        return self._queue.popleft()
 
     def _trigger_grants(self) -> None:
-        while len(self._users) < self.capacity:
-            req = self._next_request()
-            if req is None:
-                break
-            self._remove(req)
-            self._account()
-            self._users.add(req)
-            req.succeed(priority=URGENT)
-
-    def _remove(self, req: _Request) -> None:
-        self._queue.remove(req)
+        users = self._users
+        queue = self._queue
+        capacity = self.capacity
+        if queue and len(users) < capacity:
+            # one accounting flush covers every grant below: they all land
+            # at the same instant, so after the first flush the delta is
+            # zero — identical math, one inlined `_account` per batch
+            env = self.env
+            now = env._now
+            self._busy_ns += (now - self._last_change) * len(users)
+            self._last_change = now
+            while queue and len(users) < capacity:
+                req = self._pop_next()
+                users.add(req)
+                # inlined req.succeed(None, URGENT): a queued request is
+                # never triggered and its _ok/_value are still pristine
+                req._triggered = True
+                env._eid = req._seid = env._eid + 1
+                env._urgent.append(req)
 
 
 class PriorityResource(Resource):
     """Resource granting by (priority, FIFO); lower priority value first."""
 
-    def _next_request(self) -> Optional[_Request]:
-        if not self._queue:
-            return None
-        return min(self._queue, key=lambda r: (r.priority, r._order))
+    def _pop_next(self) -> _Request:
+        req = min(self._queue, key=lambda r: (r.priority, r._order))
+        self._queue.remove(req)
+        return req
 
 
 class Store:
     """Unbounded-or-bounded FIFO of items with blocking semantics."""
+
+    #: shadowed by FilterStore with a real deque; the class-level empty
+    #: tuple lets the put/get fast paths test "no filter getters" with a
+    #: plain attribute load on ordinary Stores
+    _filter_getters: Any = ()
 
     def __init__(self, env: Environment, capacity: int | None = None) -> None:
         self.env = env
@@ -140,7 +205,7 @@ class Store:
         Unlike :meth:`get`, the item stays in the store — used by pollers
         (LabStor workers) that watch many queues and pop explicitly.
         """
-        ev = Event(self.env)
+        ev = self.env.event()
         if self.items:
             ev.succeed()
         else:
@@ -161,14 +226,50 @@ class Store:
         capacity) — the seam queue pairs use to keep their accounting tied
         to acceptance rather than to the put call.
         """
-        ev = Event(self.env)
+        env = self.env
+        ev = env.event()
+        if not self._putters and (self.capacity is None or len(self.items) < self.capacity):
+            # Fast path: the store accepts immediately.  Byte-for-byte the
+            # same event/eid sequence _dispatch would produce (accept event
+            # first, then any getter serves), minus the putter-deque round
+            # trip.
+            self.items.append(item)
+            if on_accept is not None:
+                on_accept(item)
+            ev._triggered = True
+            env._eid = ev._seid = env._eid + 1
+            env._urgent.append(ev)
+            if self._getters or self._filter_getters:
+                self._serve()
+                if self._putters:
+                    self._accept()
+            if self.items and self._watchers:
+                self._notify_watchers()
+            if env._audit:
+                env.tracer.emit(env._now, "san.store", store=self)
+            return ev
         self._putters.append((ev, item, on_accept))
         self._dispatch()
         return ev
 
     def get(self) -> Event:
         """Returns an event that fires with the next item."""
-        ev = Event(self.env)
+        env = self.env
+        ev = env.event()
+        if self.items and not self._getters and not self._putters and not self._filter_getters:
+            # Fast path: an item is ready and nobody is queued ahead.
+            # Identical to _dispatch serving this getter (pending filter
+            # getters never match a stored item — _dispatch runs after
+            # every put — so popping FIFO here cannot starve one).
+            ev._triggered = True
+            ev._value = self.items.popleft()
+            env._eid = ev._seid = env._eid + 1
+            env._urgent.append(ev)
+            if self.items and self._watchers:
+                self._notify_watchers()
+            if env._audit:
+                env.tracer.emit(env._now, "san.store", store=self)
+            return ev
         self._getters.append(ev)
         self._dispatch()
         return ev
@@ -182,26 +283,47 @@ class Store:
         return None
 
     def _accept(self) -> None:
+        env = self.env
         while self._putters and (self.capacity is None or len(self.items) < self.capacity):
             ev, item, on_accept = self._putters.popleft()
             self.items.append(item)
             if on_accept is not None:
                 on_accept(item)
-            ev.succeed(priority=URGENT)
+            # inlined ev.succeed(None, URGENT); ev is store-private pending
+            ev._triggered = True
+            env._eid = ev._seid = env._eid + 1
+            env._urgent.append(ev)
 
     def _serve(self) -> None:
-        while self._getters and self.items:
-            ev = self._getters.popleft()
-            ev.succeed(self.items.popleft(), priority=URGENT)
+        env = self.env
+        getters = self._getters
+        items = self.items
+        while getters and items:
+            ev = getters.popleft()
+            # inlined ev.succeed(item, URGENT)
+            ev._triggered = True
+            ev._value = items.popleft()
+            env._eid = ev._seid = env._eid + 1
+            env._urgent.append(ev)
 
     def _dispatch(self) -> None:
-        self._accept()
-        self._serve()
-        self._accept()
-        self._notify_watchers()
-        t = self.env.tracer
-        if t.audit:
-            t.emit(self.env._now, "san.store", store=self)
+        # Guarded version of accept/serve/accept: each stage only runs
+        # when it can possibly make progress (Store._serve and
+        # FilterStore._serve both require items; the re-accept only
+        # matters if _serve freed capacity).  Must stay observably
+        # identical to the unguarded sequence — skipped stages are
+        # exactly the no-op ones.
+        if self._putters:
+            self._accept()
+        if self.items:
+            self._serve()
+            if self._putters:
+                self._accept()
+            if self.items and self._watchers:
+                self._notify_watchers()
+        env = self.env
+        if env._audit:
+            env.tracer.emit(env._now, "san.store", store=self)
 
 
 class FilterStore(Store):
@@ -214,7 +336,7 @@ class FilterStore(Store):
     def get(self, filter: Callable[[Any], bool] | None = None) -> Event:  # noqa: A002
         if filter is None:
             return super().get()
-        ev = Event(self.env)
+        ev = self.env.event()
         self._filter_getters.append((ev, filter))
         self._dispatch()
         return ev
@@ -230,7 +352,7 @@ class FilterStore(Store):
                     if pred(item):
                         self.items.remove(item)
                         self._filter_getters.remove(pair)
-                        ev.succeed(item, priority=URGENT)
+                        ev.succeed(item, URGENT)
                         served = True
                         break
 
@@ -257,7 +379,7 @@ class Container:
     def get(self, amount: int) -> Event:
         if amount < 0:
             raise SimulationError("Container.get amount must be >= 0")
-        ev = Event(self.env)
+        ev = self.env.event()
         self._getters.append((ev, amount))
         self._dispatch()
         return ev
@@ -266,4 +388,4 @@ class Container:
         while self._getters and self._getters[0][1] <= self.level:
             ev, amount = self._getters.popleft()
             self.level -= amount
-            ev.succeed(amount, priority=URGENT)
+            ev.succeed(amount, URGENT)

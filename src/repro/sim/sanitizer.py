@@ -237,7 +237,11 @@ class Sanitizer:
         events still scheduled, a pending wait is just a pending wait.
         """
         self._finished = True
-        heap_live = bool(self.env._heap) if self.env is not None else True
+        heap_live = (
+            bool(self.env._heap or self.env._urgent or self.env._due)
+            if self.env is not None
+            else True
+        )
         for e in self._events.values():
             if e._triggered and not e._ok and not e._defused and not e._processed:
                 self._violate(

@@ -8,6 +8,7 @@ that aggregate spans.  The anatomy experiment (Fig 4a) is implemented as a
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -22,31 +23,81 @@ class TraceEvent:
 
 
 class Tracer:
-    """Pub/sub trace hub. Disabled by default."""
+    """Pub/sub trace hub. Disabled by default.
+
+    The three gate flags (``enabled``, ``audit``, ``obs``) are properties:
+    assigning them mirrors the value into a cached ``_trace`` / ``_audit``
+    / ``_obs`` attribute on every attached :class:`~repro.sim.core.
+    Environment`, so per-event hot paths (``Event.__init__``, ``step``,
+    queue-pair accounting) test one environment attribute instead of
+    chasing ``env.tracer.<flag>`` on every allocation.
+    """
 
     def __init__(self, enabled: bool = False) -> None:
-        self.enabled = enabled
+        self._enabled = enabled
         self.events: list[TraceEvent] = []
         self.keep_events = False
         #: set by the sanitizer: makes the sim kernel and IPC/orchestrator
         #: layers emit ``san.*`` audit events.  Every emission site is
         #: gated on this flag, so the disabled-path cost is one branch.
-        self.audit = False
+        self._audit = False
         #: set by :class:`repro.obs.telemetry.Telemetry`: makes the client,
         #: queue pairs, workers, and devices thread per-request SpanContexts
         #: and emit ``obs.*`` events.  Same one-branch discipline as audit.
-        self.obs = False
+        self._obs = False
         #: ambient span for layers with no per-request plumbing (the kernel
         #: baseline's block layer reads the span of the syscall in progress)
         self.obs_span = None
         self._sinks: list[Callable[[TraceEvent], None]] = []
+        self._envs: "weakref.WeakSet[Any]" = weakref.WeakSet()
+
+    # -- gate flags (mirrored into attached environments) ---------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        self._sync_envs()
+
+    @property
+    def audit(self) -> bool:
+        return self._audit
+
+    @audit.setter
+    def audit(self, value: bool) -> None:
+        self._audit = value
+        self._sync_envs()
+
+    @property
+    def obs(self) -> bool:
+        return self._obs
+
+    @obs.setter
+    def obs(self, value: bool) -> None:
+        self._obs = value
+        self._sync_envs()
+
+    def _attach_env(self, env: Any) -> None:
+        """Called by ``Environment.__init__``: register for flag mirroring."""
+        self._envs.add(env)
+        env._trace = self._enabled
+        env._audit = self._audit
+        env._obs = self._obs
+
+    def _sync_envs(self) -> None:
+        for env in self._envs:
+            env._trace = self._enabled
+            env._audit = self._audit
+            env._obs = self._obs
 
     def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
         self._sinks.append(sink)
         self.enabled = True
 
     def emit(self, now_ns: int, category: str, **fields: Any) -> None:
-        if not self.enabled:
+        if not self._enabled:
             return
         ev = TraceEvent(now_ns, category, fields)
         if self.keep_events:

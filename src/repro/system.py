@@ -226,7 +226,9 @@ class LabStorSystem:
         # unwind the interrupts delivered above (they are scheduled as
         # immediate events); without this the dead processes would only
         # clean up on the next unrelated env.run()
-        while self.env._heap and self.env.peek() <= self.env.now:
+        while (
+            self.env._urgent or self.env._due or self.env._heap
+        ) and self.env.peek() <= self.env.now:
             self.env.step()
 
     def run(self, *args, **kw):

@@ -1,0 +1,78 @@
+"""Tests for the parallel sweep runner (repro.experiments.sweep)."""
+
+import pytest
+
+from repro.experiments.sweep import point_seed, run_sweep
+
+
+def _toy_point(point, seed):
+    """A tiny self-contained DES run (module-level: crosses the pool)."""
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def proc():
+        acc = seed & 0xFFFF
+        for _ in range(point["n"]):
+            yield env.timeout((acc % 7) + 1)
+            acc = (acc * 1103515245 + 12345) % (2**31)
+        return acc
+
+    acc = env.run(env.process(proc()))
+    return {"n": point["n"], "acc": acc, "virtual_ns": env.now, "seed": seed}
+
+
+def _boom(point, seed):
+    raise ValueError(f"boom at {point}")
+
+
+POINTS = [{"n": n} for n in (5, 17, 3, 29, 11)]
+
+
+def test_point_seed_deterministic_and_distinct():
+    seeds = [point_seed(0, i) for i in range(64)]
+    assert seeds == [point_seed(0, i) for i in range(64)]
+    assert len(set(seeds)) == 64
+    # distinct base seeds must not alias shifted index ranges
+    assert point_seed(7, 0) != point_seed(0, 7)
+    assert all(0 <= s < 2**63 for s in seeds)
+
+
+def test_serial_results_in_point_order():
+    rows = run_sweep(_toy_point, POINTS, base_seed=3, processes=1)
+    assert [r["n"] for r in rows] == [p["n"] for p in POINTS]
+    assert [r["seed"] for r in rows] == [point_seed(3, i) for i in range(len(POINTS))]
+
+
+def test_parallel_matches_serial_exactly():
+    serial = run_sweep(_toy_point, POINTS, base_seed=3, processes=1)
+    parallel = run_sweep(_toy_point, POINTS, base_seed=3, processes=2)
+    assert parallel == serial
+
+
+def test_seeds_independent_of_process_count():
+    two = run_sweep(_toy_point, POINTS, base_seed=9, processes=2)
+    three = run_sweep(_toy_point, POINTS, base_seed=9, processes=3)
+    assert two == three
+
+
+def test_single_point_short_circuits_serial():
+    rows = run_sweep(_toy_point, [{"n": 4}], base_seed=1, processes=8)
+    assert len(rows) == 1 and rows[0]["seed"] == point_seed(1, 0)
+
+
+def test_empty_sweep():
+    assert run_sweep(_toy_point, [], base_seed=0) == []
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(ValueError, match="boom"):
+        run_sweep(_boom, [{"n": 1}, {"n": 2}], processes=2)
+    with pytest.raises(ValueError, match="boom"):
+        run_sweep(_boom, [{"n": 1}], processes=1)
+
+
+def test_base_seed_changes_results():
+    a = run_sweep(_toy_point, POINTS, base_seed=0, processes=1)
+    b = run_sweep(_toy_point, POINTS, base_seed=1, processes=1)
+    assert [r["acc"] for r in a] != [r["acc"] for r in b]
