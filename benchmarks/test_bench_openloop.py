@@ -1,0 +1,36 @@
+"""E13 — open-loop overload: goodput vs offered load, none vs queue-depth."""
+
+from repro.experiments import openloop
+
+from conftest import run_figure
+
+
+def test_bench_openloop(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: openloop.sweep_openloop(processes=1),
+        openloop.format_openloop,
+        "E13 — open-loop overload (goodput vs offered load)",
+        artifact="openloop",
+    )
+    by = {(r["policy"], r["load"]): r for r in rows}
+    loads = sorted({r["load"] for r in rows})
+    lo, hi = loads[0], loads[-1]
+    # below saturation goodput tracks offered load (no admission needed)
+    light = by[("none", lo)]
+    assert light["good"] >= 0.9 * light["launched"], (
+        f"light load already violating SLOs: {light}"
+    )
+    # past saturation the no-admission goodput collapses below the knee...
+    knee = max(by[("none", load)]["goodput_ops_s"] for load in loads)
+    collapsed = by[("none", hi)]["goodput_ops_s"]
+    assert collapsed < 0.6 * knee, (
+        f"open loop failed to expose overload: {collapsed:.0f} vs knee {knee:.0f}"
+    )
+    # ...while queue-depth admission sheds load and holds a plateau
+    guarded = by[("queue-depth", hi)]
+    assert guarded["rejected"] > 0, "admission control never engaged"
+    assert guarded["goodput_ops_s"] > 2.0 * collapsed, (
+        f"admission control did not protect goodput: "
+        f"{guarded['goodput_ops_s']:.0f} vs {collapsed:.0f}"
+    )

@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments --list
 
 Figure names: anatomy, table1, fig5a, fig5b, fig6, fig7, fig8, fig9a,
-fig9b, fig9c, ablations, faults, batching.
+fig9b, fig9c, ablations, faults, batching, openloop.
 """
 
 from __future__ import annotations
@@ -23,6 +23,7 @@ from . import (
     labios_eval,
     live_upgrade,
     metadata,
+    openloop,
     orchestration_cpu,
     orchestration_partition,
     pfs_eval,
@@ -78,6 +79,8 @@ FIGURES = {
         fault_recovery.sweep_fault_recovery(nwrites=120))),
     "batching": lambda: print(batching.format_batching(
         batching.sweep_batching(nops=256))),
+    "openloop": lambda: print(openloop.format_openloop(
+        openloop.sweep_openloop())),
 }
 
 

@@ -1,0 +1,94 @@
+"""E13 — open-loop overload: goodput vs offered load, with admission control.
+
+The first production-traffic experiment: the canonical two-tenant
+population (``repro.traffic.presets``) is driven open-loop at a sweep of
+offered-load multipliers, once with no admission control and once with a
+queue-depth threshold.  Each point is an independent seeded simulation,
+fanned across processes by :mod:`repro.experiments.sweep`.
+
+Expected shape — the textbook open-loop curve:
+
+- below saturation goodput tracks offered load (the 45-degree line);
+- past the knee the **none** policy collapses: arrivals keep landing on a
+  saturated system, queues grow without bound, every admitted op blows
+  its deadline, goodput falls toward zero;
+- **queue-depth** admission sheds the excess at the door instead, so the
+  admitted ops still meet their SLO and goodput plateaus near capacity.
+"""
+
+from __future__ import annotations
+
+from ..units import msec
+from .report import format_table
+from .sweep import run_sweep
+
+__all__ = ["OFFERED_LOADS", "POLICIES", "run_openloop_point", "sweep_openloop",
+           "format_openloop"]
+
+OFFERED_LOADS = (0.25, 0.5, 1.0, 1.5, 2.5, 4.0)
+POLICIES = ("none", "queue-depth")
+
+
+def run_openloop_point(point: dict, seed: int) -> dict:
+    """One sweep point (module-level: must cross a process pool)."""
+    from ..traffic.engine import QueueDepthAdmission
+    from ..traffic.presets import build_overload_engine
+
+    policy = None
+    if point["policy"] == "queue-depth":
+        policy = QueueDepthAdmission(point.get("max_inflight", 4))
+    system, engine = build_overload_engine(
+        seed=seed,
+        duration_ns=msec(point.get("duration_ms", 2.0)),
+        load=point["load"],
+        policy=policy,
+    )
+    s = engine.run()
+    fe = s["tenants"]["frontend"]
+    row = {
+        "policy": point["policy"],
+        "load": point["load"],
+        "offered_ops_s": s["offered_ops_s"],
+        "goodput_ops_s": s["goodput_ops_s"],
+        "achieved_ops_s": s["achieved_ops_s"],
+        "launched": s["totals"]["launched"],
+        "good": s["totals"]["good"],
+        "violations": s["totals"]["violations"],
+        "rejected": s["totals"]["rejected"],
+        "peak_inflight": s["peak_inflight"],
+        "frontend_p50_ns": fe.get("p50_ns", 0.0),
+        "frontend_p99_ns": fe.get("p99_ns", 0.0),
+        "frontend_p999_ns": fe.get("p999_ns", 0.0),
+        "seed": seed,
+    }
+    system.shutdown()
+    return row
+
+
+def sweep_openloop(loads=OFFERED_LOADS, policies=POLICIES, *,
+                   duration_ms: float = 2.0, max_inflight: int = 4,
+                   base_seed: int = 0, processes: int | None = None) -> list[dict]:
+    """The goodput-vs-offered-load grid; rows in configuration order."""
+    points = [
+        {"policy": p, "load": load, "duration_ms": duration_ms,
+         "max_inflight": max_inflight}
+        for p in policies for load in loads
+    ]
+    return run_sweep(run_openloop_point, points, base_seed=base_seed,
+                     processes=processes)
+
+
+def format_openloop(rows: list[dict]) -> str:
+    return format_table(
+        ["policy", "load", "offered K/s", "goodput K/s", "done K/s",
+         "viol", "rej", "peak qd", "fe p99 us", "fe p999 us"],
+        [[r["policy"], f"{r['load']:.2f}",
+          f"{r['offered_ops_s'] / 1000:.0f}",
+          f"{r['goodput_ops_s'] / 1000:.1f}",
+          f"{r['achieved_ops_s'] / 1000:.1f}",
+          str(r["violations"]), str(r["rejected"]), str(r["peak_inflight"]),
+          f"{r['frontend_p99_ns'] / 1000:.0f}",
+          f"{r['frontend_p999_ns'] / 1000:.0f}"]
+         for r in rows],
+        title="E13 — open-loop overload (2 tenants, YCSB on LabKVS, NVMe)",
+    )

@@ -69,21 +69,32 @@ class MetricsRegistry:
     def _unkey(k: _Key) -> dict[str, Any]:
         return {"name": k[0], "labels": dict(k[1:])}
 
+    @staticmethod
+    def _sort_key(k: _Key) -> tuple:
+        # Label values are free-form: the same metric name can carry e.g.
+        # device=0 next to device="nvme", which a plain sorted() cannot
+        # order (TypeError).  Compare by (label, type name, repr) instead —
+        # total, stable, and type-aware.
+        return (k[0],) + tuple(
+            (label, type(v).__name__, repr(v)) for label, v in k[1:]
+        )
+
     def snapshot(self) -> dict[str, list[dict[str, Any]]]:
         """JSON-able dump of every metric."""
         out: dict[str, list[dict[str, Any]]] = {
             "counters": [], "gauges": [], "histograms": [],
         }
-        for k in sorted(self._counters):
+        for k in sorted(self._counters, key=self._sort_key):
             out["counters"].append({**self._unkey(k), "value": self._counters[k]})
-        for k in sorted(self._gauges):
+        for k in sorted(self._gauges, key=self._sort_key):
             out["gauges"].append({**self._unkey(k), "value": self._gauges[k]})
-        for k in sorted(self._histograms):
+        for k in sorted(self._histograms, key=self._sort_key):
             h = self._histograms[k]
             entry = {**self._unkey(k), "count": h.total}
             if h.total:
                 entry["p50_ns"] = h.quantile(0.50)
                 entry["p99_ns"] = h.quantile(0.99)
+                entry["p999_ns"] = h.quantile(0.999)
             out["histograms"].append(entry)
         return out
 

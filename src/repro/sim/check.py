@@ -329,12 +329,46 @@ def _scenario_batching(audit: AuditRun) -> dict[str, Any]:
     }
 
 
+def _scenario_openloop(audit: AuditRun) -> dict[str, Any]:
+    """Open-loop tenant traffic under overload: the canonical two-tenant
+    population (diurnal YCSB-C frontend + bursty YCSB-A analytics) at 2.5x
+    nominal load behind queue-depth admission.  Every arrival, key choice
+    and op-mix draw comes from the seeded per-tenant streams, so the whole
+    storm — admissions, rejections, queue growth, drain — must replay
+    digest-identical."""
+    from ..traffic.engine import QueueDepthAdmission
+    from ..traffic.presets import build_overload_engine
+    from ..units import msec
+
+    env = Environment()
+    audit.attach(env)
+    system, engine = build_overload_engine(
+        env=env, duration_ns=msec(1.5), load=2.5,
+        policy=QueueDepthAdmission(8),
+    )
+    summary = engine.run()
+    tot = summary["totals"]
+    assert tot["completed"] > 0, "open-loop run completed no ops"
+    assert tot["completed"] == tot["launched"], "drain lost in-flight ops"
+    assert tot["rejected"] > 0, "overload never tripped admission control"
+    assert engine.inflight == 0, "inflight accounting leaked"
+    return {
+        "launched": tot["launched"],
+        "good": tot["good"],
+        "violations": tot["violations"],
+        "rejected": tot["rejected"],
+        "peak_inflight": summary["peak_inflight"],
+        "elapsed_ns": summary["elapsed_ns"],
+    }
+
+
 SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {
     "quickstart": _scenario_quickstart,
     "orchestration": _scenario_orchestration,
     "kvs": _scenario_kvs,
     "faults": _scenario_faults,
     "batching": _scenario_batching,
+    "openloop": _scenario_openloop,
 }
 
 

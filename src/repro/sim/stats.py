@@ -85,9 +85,11 @@ class LatencyRecorder:
     million-request runs while percentiles stay unbiased.
     """
 
-    def __init__(self, reservoir: int | None = None, rng: np.random.Generator | None = None) -> None:
+    def __init__(self, reservoir: int | None = None, rng: np.random.Generator | None = None,
+                 name: str | None = None) -> None:
         self.stats = OnlineStats()
         self.reservoir = reservoir
+        self.name = name
         self._rng = rng or np.random.default_rng(0)
         self._samples: list[float] = []
 
@@ -109,7 +111,19 @@ class LatencyRecorder:
         return self.stats.mean
 
     def pct(self, p: float) -> float:
-        return percentile(self._samples, p)
+        return self.pcts((p,))[0]
+
+    def pcts(self, ps: Iterable[float]) -> list[float]:
+        """All requested percentiles from a single sample-array build.
+
+        Million-sample runs pay the list→ndarray conversion once here, not
+        once per percentile.
+        """
+        if not self._samples:
+            who = f" (recorder {self.name!r})" if self.name else ""
+            raise ValueError(f"percentile of empty sample set{who}")
+        arr = np.asarray(self._samples, dtype=np.float64)
+        return [float(v) for v in np.percentile(arr, list(ps))]
 
     @property
     def p50(self) -> float:
@@ -119,14 +133,21 @@ class LatencyRecorder:
     def p99(self) -> float:
         return self.pct(99)
 
+    @property
+    def p999(self) -> float:
+        return self.pct(99.9)
+
     def summary(self) -> dict[str, float]:
         if self.count == 0:
-            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "min": 0.0, "max": 0.0}
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0,
+                    "min": 0.0, "max": 0.0}
+        p50, p99, p999 = self.pcts((50, 99, 99.9))
         return {
             "count": self.count,
             "mean": self.mean,
-            "p50": self.p50,
-            "p99": self.p99,
+            "p50": p50,
+            "p99": p99,
+            "p999": p999,
             "min": self.stats.min,
             "max": self.stats.max,
         }
@@ -150,8 +171,11 @@ class Histogram:
         self.total += 1
 
     def bucket_bounds(self, idx: int) -> tuple[int, int]:
+        # samples are clamped to max_ns on add(); the reported bounds must
+        # be clamped the same way or quantiles exceed the largest value the
+        # histogram can actually have recorded
         lo = self.min_ns * (2**idx)
-        return lo, lo * 2
+        return min(lo, self.max_ns), min(lo * 2, self.max_ns)
 
     def quantile(self, q: float) -> float:
         """Approximate quantile (bucket upper bound)."""

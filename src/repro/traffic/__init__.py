@@ -1,0 +1,43 @@
+"""Open-loop tenant traffic: arrival schedules, YCSB mixes, SLO accounting.
+
+The package that takes the repo past closed-loop benchmarking (ROADMAP
+item 2): tenant populations (millions of logical users superposed into
+arrival processes), Poisson/bursty/diurnal schedules on seeded streams,
+Zipf key popularity, a YCSB-style workload family for GenericKVS, and an
+open-loop engine with per-tenant p50/p99/p999 + goodput + SLO-violation
+accounting and pluggable admission control.
+
+CLI::
+
+    python -m repro.traffic.report --load 2.0 --policy queue-depth
+
+Experiment: ``repro.experiments.openloop`` (goodput vs offered load);
+determinism: the ``"openloop"`` scenario of ``python -m repro.sim.check``.
+"""
+
+from .arrivals import ArrivalProcess, BurstyArrivals, DiurnalArrivals, PoissonArrivals
+from .engine import AdmissionPolicy, OpenLoopEngine, QueueDepthAdmission, TenantStats
+from .keys import ZipfKeys
+from .presets import build_overload_engine, overload_tenants
+from .tenants import SCHEDULES, TenantSLO, TenantSpec
+from .ycsb import YCSB_MIXES, YcsbMix, YcsbWorkload
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "ZipfKeys",
+    "YcsbMix",
+    "YCSB_MIXES",
+    "YcsbWorkload",
+    "TenantSLO",
+    "TenantSpec",
+    "SCHEDULES",
+    "AdmissionPolicy",
+    "QueueDepthAdmission",
+    "TenantStats",
+    "OpenLoopEngine",
+    "build_overload_engine",
+    "overload_tenants",
+]

@@ -1,0 +1,49 @@
+"""Zipf key popularity for KVS traffic.
+
+Real key-value traffic is skewed: a handful of hot keys absorb most of the
+load (the YCSB default is a Zipfian with theta=0.99).  numpy's ``rng.zipf``
+samples an *unbounded* Zipf, so this module keeps a bounded sampler with a
+precomputed CDF: O(nkeys) setup, O(log nkeys) per draw, fully determined
+by the stream that drives it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfKeys"]
+
+
+class ZipfKeys:
+    """Bounded Zipfian sampler over key indices ``0 .. nkeys-1``.
+
+    Index 0 is the hottest key; ``theta=0`` degenerates to uniform.
+    """
+
+    def __init__(self, nkeys: int, theta: float = 0.99) -> None:
+        if nkeys <= 0:
+            raise ValueError(f"nkeys must be positive, got {nkeys}")
+        if theta < 0:
+            raise ValueError(f"theta must be >= 0, got {theta}")
+        self.nkeys = int(nkeys)
+        self.theta = float(theta)
+        ranks = np.arange(1, self.nkeys + 1, dtype=np.float64)
+        weights = ranks ** -self.theta
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """One key index drawn from the popularity distribution."""
+        return int(np.searchsorted(self._cdf, rng.random(), side="right"))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.searchsorted(self._cdf, rng.random(n), side="right")
+
+    def hot_fraction(self, top: int) -> float:
+        """Probability mass carried by the ``top`` hottest keys."""
+        top = min(max(top, 0), self.nkeys)
+        return float(self._cdf[top - 1]) if top else 0.0
+
+    def __repr__(self) -> str:
+        return f"<ZipfKeys n={self.nkeys} theta={self.theta}>"

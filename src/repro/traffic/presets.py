@@ -1,0 +1,88 @@
+"""Canonical tenant populations for the overload experiments.
+
+One shared scenario so the report CLI, the overload experiment, the
+determinism scenario and the benchmarks all drive the *same* system shape:
+
+- **frontend** — 1.5M logical users reading profiles (YCSB-C, Zipf 0.99)
+  on a diurnal cycle, latency-sensitive SLO;
+- **analytics** — 500K logical users running an update-heavy session
+  store (YCSB-A, milder skew) in bursts, relaxed SLO.
+
+At ``load=1.0`` the two tenants offer ~60K ops/s combined, which sits
+near the saturation knee of a 2-worker KVS deployment — sweeping
+``load`` past 1 is what bends the goodput curve over.
+"""
+
+from __future__ import annotations
+
+from ..core.runtime import RuntimeConfig
+from ..mods.generic_kvs import GenericKVS
+from ..sim import Environment
+from ..system import LabStorSystem
+from ..units import msec, usec
+from .engine import AdmissionPolicy, OpenLoopEngine
+from .tenants import TenantSLO, TenantSpec
+from .ycsb import YcsbWorkload
+
+__all__ = ["MOUNT", "overload_tenants", "build_overload_engine"]
+
+MOUNT = "kvs::/traffic"
+
+
+def overload_tenants() -> list[TenantSpec]:
+    """The two-tenant population every overload harness shares."""
+    return [
+        TenantSpec(
+            name="frontend",
+            users=1_500_000,
+            ops_per_user_per_sec=0.024,          # 36K ops/s aggregate
+            slo=TenantSLO(deadline_ns=usec(150), p99_ns=usec(120)),
+            schedule="diurnal",
+            schedule_kw={"period_ns": msec(4), "amplitude": 0.6},
+        ),
+        TenantSpec(
+            name="analytics",
+            users=500_000,
+            ops_per_user_per_sec=0.048,          # 24K ops/s aggregate
+            slo=TenantSLO(deadline_ns=msec(1)),
+            schedule="bursty",
+            schedule_kw={"burst_factor": 6.0, "duty": 0.25,
+                         "mean_burst_ns": msec(0.5)},
+        ),
+    ]
+
+
+def build_overload_engine(
+    *,
+    seed: int = 0,
+    duration_ns: int = msec(2),
+    load: float = 1.0,
+    policy: AdmissionPolicy | None = None,
+    nworkers: int = 2,
+    nkeys: int = 128,
+    value_size: int = 512,
+    env: Environment | None = None,
+) -> tuple[LabStorSystem, OpenLoopEngine]:
+    """Build system + preloaded KVS + engine with the canonical tenants.
+
+    ``env`` lets a determinism audit attach its tracer before any
+    simulation runs (the :mod:`repro.sim.check` protocol).
+    """
+    system = LabStorSystem(
+        env=env, seed=seed, devices=("nvme",),
+        config=RuntimeConfig(nworkers=nworkers),
+    )
+    system.mount_kvs_stack(MOUNT, variant="all")
+    engine = OpenLoopEngine(system, duration_ns=duration_ns, policy=policy)
+    mixes = {"frontend": dict(mix="C", theta=0.99),
+             "analytics": dict(mix="A", theta=0.6)}
+    loaded = False
+    for spec in overload_tenants():
+        kw = mixes[spec.name]
+        wl = YcsbWorkload(GenericKVS(system.client(), MOUNT),
+                          nkeys=nkeys, value_size=value_size, **kw)
+        if not loaded:  # tenants share the keyspace: one load phase suffices
+            system.run(system.process(wl.preload()))
+            loaded = True
+        engine.add_tenant(spec, wl.make_op, load_factor=load)
+    return system, engine

@@ -179,3 +179,39 @@ def test_telemetry_registry_populated_by_requests():
     assert reg.histogram("e2e_ns", kind="lab").total == telemetry.closed_total
     assert reg.counter("device_ops_total", device="nvme", op="write") > 0
     sys_.shutdown()
+
+def test_snapshot_survives_heterogeneous_label_types():
+    """Regression (ISSUE 6): snapshot() sorted keys with plain sorted(),
+    which raised TypeError the moment one metric name carried labels of
+    mixed value types (device=0 from an indexed loop next to
+    device="nvme" from a named one)."""
+    reg = MetricsRegistry()
+    reg.inc("ops", device=0)
+    reg.inc("ops", device="nvme")
+    reg.set_gauge("depth", 2, queue=1)
+    reg.set_gauge("depth", 4, queue="admin")
+    reg.observe("lat_ns", 100, shard=3)
+    reg.observe("lat_ns", 200, shard="hot")
+    snap = reg.snapshot()  # used to raise TypeError: '<' not supported
+    devices = [c["labels"]["device"] for c in snap["counters"] if c["name"] == "ops"]
+    assert sorted(devices, key=str) == [0, "nvme"]
+    assert len([g for g in snap["gauges"] if g["name"] == "depth"]) == 2
+    assert len([h for h in snap["histograms"] if h["name"] == "lat_ns"]) == 2
+
+
+def test_snapshot_order_is_stable_and_type_aware():
+    reg = MetricsRegistry()
+    for dev in ("b", 1, "a", 0):
+        reg.inc("ops", device=dev)
+    first = [c["labels"]["device"] for c in reg.snapshot()["counters"]]
+    second = [c["labels"]["device"] for c in reg.snapshot()["counters"]]
+    assert first == second  # deterministic export order
+    assert set(map(str, first)) == {"0", "1", "a", "b"}
+
+
+def test_histogram_snapshot_reports_p999():
+    reg = MetricsRegistry()
+    for v in range(1, 1001):
+        reg.observe("lat_ns", v * 1000)
+    entry = next(h for h in reg.snapshot()["histograms"] if h["name"] == "lat_ns")
+    assert entry["p999_ns"] >= entry["p99_ns"] >= entry["p50_ns"]

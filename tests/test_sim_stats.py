@@ -181,3 +181,96 @@ def test_histogram_quantile_zero_reports_lowest_occupied_bucket():
     lo, hi = 2 ** 19, 2 ** 21  # 1e6 falls in the [2^19, 2^20) bucket
     assert lo <= h.quantile(0.0) <= hi
     assert h.quantile(0.0) == h.quantile(1.0)
+
+# --- ISSUE 6 regressions: histogram clamping, p999, empty-recorder errors ---
+def test_histogram_quantile_never_exceeds_max_ns():
+    """Regression (ISSUE 6): bucket_bounds() reported the unclamped upper
+    bound, so quantile() could exceed max_ns even though add() clamps every
+    sample to it."""
+    h = Histogram(min_ns=10, max_ns=1000)
+    h.add(5000)  # clamped to 1000 on add
+    assert h.quantile(1.0) == 1000
+    assert h.quantile(0.5) == 1000
+    lo, hi = h.bucket_bounds(len(h.buckets) - 1)
+    assert lo <= h.max_ns and hi <= h.max_ns
+
+
+def test_histogram_default_cap_clamped_too():
+    h = Histogram()  # max_ns = 10**12
+    h.add(10**15)
+    assert h.quantile(1.0) <= 10**12
+
+
+def test_histogram_bucket_bounds_unaffected_below_max():
+    h = Histogram(min_ns=1, max_ns=1024)
+    assert h.bucket_bounds(3) == (8, 16)
+
+
+def test_latency_recorder_p999_and_summary_key():
+    r = LatencyRecorder()
+    for x in range(1, 10_001):
+        r.add(float(x))
+    assert r.p999 == pytest.approx(9990.001, rel=1e-6)
+    s = r.summary()
+    assert s["p999"] == pytest.approx(r.p999)
+    assert s["p50"] <= s["p99"] <= s["p999"]
+    assert LatencyRecorder().summary()["p999"] == 0.0
+
+
+def test_latency_recorder_pcts_single_pass_consistent():
+    r = LatencyRecorder()
+    for x in range(100):
+        r.add(float(x))
+    p50, p99, p999 = r.pcts((50, 99, 99.9))
+    assert (p50, p99, p999) == (r.pct(50), r.pct(99), r.pct(99.9))
+
+
+def test_empty_recorder_pct_names_the_recorder():
+    r = LatencyRecorder(name="frontend.e2e")
+    with pytest.raises(ValueError, match="frontend.e2e"):
+        r.pct(50)
+    with pytest.raises(ValueError, match="empty"):
+        LatencyRecorder().pct(50)  # unnamed recorders still raise clearly
+
+
+# --- property-style checks: reservoir fidelity, merge across splits --------
+def test_property_reservoir_percentiles_track_exact():
+    """A 10k reservoir over a deterministic 100k-sample stream must land
+    within a small tolerance of the exact p50/p99/p999."""
+    rng = np.random.default_rng(42)
+    samples = rng.lognormal(mean=10.0, sigma=1.0, size=100_000)
+    r = LatencyRecorder(reservoir=10_000, rng=np.random.default_rng(7))
+    exact = LatencyRecorder()
+    for x in samples:
+        r.add(float(x))
+        exact.add(float(x))
+    assert r.count == exact.count == 100_000
+    assert len(r._samples) == 10_000
+    got = r.pcts((50, 99, 99.9))
+    want = exact.pcts((50, 99, 99.9))
+    for g, w, tol in zip(got, want, (0.05, 0.10, 0.20)):
+        assert abs(g - w) / w < tol, (g, w)
+    # the online moments never go through the reservoir: they stay exact
+    assert r.mean == pytest.approx(exact.mean)
+    assert r.stats.max == exact.stats.max
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), nsplits=st.integers(2, 8))
+def test_property_merge_matches_single_pass_across_random_splits(seed, nsplits):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(loc=50.0, scale=20.0, size=500)
+    cuts = sorted(rng.integers(0, len(data), size=nsplits - 1).tolist())
+    whole = OnlineStats()
+    for x in data:
+        whole.add(float(x))
+    merged = OnlineStats()
+    for chunk in np.split(data, cuts):
+        part = OnlineStats()
+        for x in chunk:
+            part.add(float(x))
+        merged.merge(part)
+    assert merged.n == whole.n
+    assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-9)
+    assert merged.variance == pytest.approx(whole.variance, rel=1e-7, abs=1e-7)
+    assert merged.min == whole.min and merged.max == whole.max
