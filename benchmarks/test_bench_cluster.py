@@ -1,0 +1,28 @@
+"""E14 — sharded GenericKVS throughput vs. cluster size."""
+
+from repro.experiments import cluster_scaling
+
+from conftest import run_figure
+
+
+def test_bench_cluster(benchmark):
+    rows = run_figure(
+        benchmark,
+        lambda: cluster_scaling.sweep_cluster_scaling(processes=1),
+        cluster_scaling.format_cluster_scaling,
+        "E14 — sharded GenericKVS scaling across cluster nodes",
+        artifact="cluster",
+    )
+    by = {(r["nnodes"], r["replicas"]): r for r in rows}
+    one, four = by[(1, 1)], by[(4, 1)]
+    # the acceptance bar: fixed offered load, >=2x ops/s at 4 nodes
+    assert four["kops_s"] >= 2.0 * one["kops_s"], (
+        f"cluster failed to scale: {four['kops_s']:.1f} kops/s at 4 nodes "
+        f"vs {one['kops_s']:.1f} at 1"
+    )
+    # replication is not free: the 2-replica points pay write fan-out
+    assert by[(4, 2)]["kops_s"] < four["kops_s"], (
+        "replicated writes should cost throughput vs replicas=1"
+    )
+    # remote traffic only exists once there is a second node
+    assert one["remote_calls"] == 0 and four["remote_calls"] > 0

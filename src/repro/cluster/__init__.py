@@ -1,0 +1,62 @@
+"""Cluster-scale LabStor: nodes, network fabric, and sharded services.
+
+This package lifts the single-machine simulation to a multi-node
+cluster while keeping every determinism guarantee intact:
+
+- :mod:`~repro.cluster.node` — :class:`Node`, one LabStor deployment
+  (devices + Runtime + workers) on the cluster's shared clock, and
+  :class:`ClusterClient`, a client that routes calls node-locally or
+  over the fabric;
+- :mod:`~repro.cluster.fabric` — the network cost model
+  (:class:`FabricCost`) and directed-link topology
+  (:class:`NetworkFabric` / :class:`FabricLink`);
+- :mod:`~repro.cluster.routing` — :class:`Route`, the NIC-queue-pair
+  initiator→target path a remote call rides;
+- :mod:`~repro.cluster.kvs` — :class:`HashRing` consistent-hash
+  placement and :class:`ShardedKVS`, the replicated cluster-wide
+  GenericKVS surface;
+- :mod:`~repro.cluster.builder` — :class:`Cluster` and the fluent
+  :func:`cluster` / :class:`ClusterBuilder` front door, the public
+  path to multi-node composition.
+
+Quickstart::
+
+    from repro.cluster import cluster
+
+    cl = (cluster(seed=1)
+          .node("n0").node("n1").node("n2")
+          .build())
+    kvs = cl.shard_kvs("kvs::/t", replicas=3)
+    cl.run(cl.process(kvs.put("alpha", b"1")))
+    value = cl.run(cl.process(kvs.get("alpha")))
+    cl.shutdown()
+"""
+
+from .builder import Cluster, ClusterBuilder, cluster
+from .fabric import (
+    DEFAULT_FABRIC_COST,
+    FabricCost,
+    FabricLink,
+    FabricTransport,
+    NetworkFabric,
+)
+from .kvs import FAILOVER_ERRORS, HashRing, ShardedKVS
+from .node import ClusterClient, Node
+from .routing import Route
+
+__all__ = [
+    "Cluster",
+    "ClusterBuilder",
+    "cluster",
+    "Node",
+    "ClusterClient",
+    "NetworkFabric",
+    "FabricLink",
+    "FabricCost",
+    "FabricTransport",
+    "DEFAULT_FABRIC_COST",
+    "Route",
+    "HashRing",
+    "ShardedKVS",
+    "FAILOVER_ERRORS",
+]

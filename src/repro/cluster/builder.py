@@ -1,0 +1,382 @@
+"""Cluster composition: the :class:`Cluster` runtime and the fluent
+:class:`ClusterBuilder` front door.
+
+The builder extends the StackBuilder idiom one level up — nodes instead
+of LabMods, links instead of layer edges::
+
+    from repro.cluster import cluster
+
+    cl = (
+        cluster(seed=7)
+        .node("n0").stack("kvs::/t").kvs(variant="min").device("nvme")
+        .node("n1").stack("kvs::/t").kvs(variant="min").device("nvme")
+        .node("n2", failure_domain="rack-b")
+        .stack("kvs::/t").kvs(variant="min").device("nvme")
+        .build()
+    )
+    skvs = cl.shard_kvs("kvs::/t", replicas=3)
+
+Inside a ``.stack(...)`` scope every chainable StackBuilder knob is
+available (``kvs``, ``fs``, ``device``, ``sched``, ...); calling a
+builder-level verb (``node``, ``link``, ``connect_all``, ``build``,
+``stack``) mounts the pending stack and pops back out.  Note this means
+``build()`` after a ``stack(...)`` finishes the **cluster** — compose a
+raw StackSpec through ``node_obj.stack(...)`` if that's what you need.
+
+A Cluster owns exactly one Environment, sanitizer, telemetry pipeline,
+and RngRegistry; nodes and the fabric share them, which is what makes a
+multi-node run a single deterministic simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..devices.profiles import DeviceSpec
+from ..errors import FabricError, LabStorError
+from ..kernel.cpu import DEFAULT_COST, CostModel
+from ..obs.telemetry import Telemetry
+from ..obs.telemetry import maybe_attach as _maybe_attach_telemetry
+from ..sim import Environment, RngRegistry
+from ..sim.sanitizer import maybe_attach
+from .fabric import FabricCost, NetworkFabric
+from .kvs import HashRing, ShardedKVS
+from .node import ClusterClient, Node
+from .routing import Route
+
+__all__ = ["Cluster", "ClusterBuilder", "cluster"]
+
+
+class Cluster:
+    """A set of nodes on one shared clock, wired by a network fabric.
+
+    Build through :func:`cluster` / :class:`ClusterBuilder` — that is the
+    public path to multi-node composition; constructing Node or Route by
+    hand skips topology bookkeeping.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        cost: CostModel = DEFAULT_COST,
+        fabric_cost: FabricCost | None = None,
+        telemetry: Union[Telemetry, bool, None] = None,
+        env: Environment | None = None,
+    ) -> None:
+        self.env = env if env is not None else Environment()
+        # one sanitizer / telemetry pipeline for the whole cluster: nodes
+        # share the env, and attaching per node would double-count events
+        self.sanitizer = maybe_attach(self.env)
+        self.telemetry: Optional[Telemetry] = None
+        if isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry.install(self.env)
+        elif telemetry is True:
+            self.telemetry = Telemetry().install(self.env)
+        elif telemetry is None:
+            self.telemetry = _maybe_attach_telemetry(self.env)
+        self.rngs = RngRegistry(seed)
+        self.cost = cost
+        self.fabric = NetworkFabric(self.env, fabric_cost)
+        self.nodes: dict[str, Node] = {}
+        self._routes: dict[tuple[str, str], Route] = {}
+        #: service registry: mount path -> owning node name
+        self.services: dict[str, str] = {}
+        self._clients: list[ClusterClient] = []
+        self._built = False
+
+    # -- topology ------------------------------------------------------
+    def add_node(self, name: str, **kw) -> Node:
+        if self._built:
+            raise LabStorError("cluster is built; topology is frozen")
+        if name in self.nodes:
+            raise LabStorError(f"node {name!r} already in cluster")
+        node = Node(self, name, **kw)
+        self.nodes[name] = node
+        return node
+
+    def link(self, a: str, b: str, cost: FabricCost | None = None,
+             *, bidirectional: bool = True) -> None:
+        for name in (a, b):
+            if name not in self.nodes:
+                raise FabricError(
+                    f"cannot link unknown node {name!r}; "
+                    f"cluster has {sorted(self.nodes)}"
+                )
+        self.fabric.add_link(a, b, cost, bidirectional=bidirectional)
+
+    def connect_all(self, cost: FabricCost | None = None) -> None:
+        """Full mesh over the current node set (idempotent)."""
+        names = sorted(self.nodes)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                self.fabric.add_link(a, b, cost)
+
+    def build_routes(self) -> None:
+        """Instantiate a Route (NIC QP + proxy client) per directed link.
+
+        Setup-time only: each route's proxy connect drives the sim.
+        Routes are created in sorted (src, dst) order so pids and queue
+        ids assign deterministically regardless of declaration order."""
+        for src, dst in sorted(
+            (a, b) for a in self.nodes for b in self.nodes
+            if a != b and self.fabric.connected(a, b)
+        ):
+            if (src, dst) not in self._routes:
+                self._routes[(src, dst)] = Route(
+                    self, self.nodes[src], self.nodes[dst]
+                )
+        self._built = True
+
+    def route(self, src: str, dst: str) -> Route:
+        try:
+            return self._routes[(src, dst)]
+        except KeyError:
+            hint = (
+                "cluster not built yet — call build()"
+                if not self._built
+                else f"declared routes: {sorted(self._routes)}"
+            )
+            raise FabricError(f"no route {src}->{dst}; {hint}") from None
+
+    # -- services ------------------------------------------------------
+    def register_service(self, path: str, node_name: str) -> None:
+        if node_name not in self.nodes:
+            raise LabStorError(f"unknown node {node_name!r}")
+        owner = self.services.get(path)
+        if owner is not None and owner != node_name:
+            raise LabStorError(
+                f"service {path!r} already registered on {owner!r}"
+            )
+        self.services[path] = node_name
+
+    def owner_of(self, path: str) -> str:
+        """Longest registered prefix wins (mirrors Namespace.resolve)."""
+        best = None
+        for mount, owner in self.services.items():
+            if path == mount or path.startswith(mount):
+                if best is None or len(mount) > len(best[0]):
+                    best = (mount, owner)
+        if best is None:
+            raise LabStorError(
+                f"no cluster service owns {path!r}; "
+                f"registered: {sorted(self.services)}"
+            )
+        return best[1]
+
+    # -- clients and sharding ------------------------------------------
+    def client(self, node: str | None = None, ordered: bool = True) -> ClusterClient:
+        """A cluster-wide client homed on ``node`` (default: first node
+        in sorted order).  Setup-time only — connecting runs the sim."""
+        if not self.nodes:
+            raise LabStorError("cluster has no nodes")
+        home = self.nodes[node] if node is not None else (
+            self.nodes[sorted(self.nodes)[0]]
+        )
+        c = ClusterClient(self, home, ordered=ordered)
+        self._clients.append(c)
+        return c
+
+    def shard_kvs(
+        self,
+        mount: str = "kvs::/shard",
+        *,
+        replicas: int = 1,
+        quorum: int | None = None,
+        vnodes: int = 64,
+        variant: str = "min",
+        device: str = "nvme",
+        nworkers: int = 8,
+        gateway: str | None = None,
+        timeout_ns: int | None = None,
+    ) -> ShardedKVS:
+        """Shard (and replicate) a GenericKVS namespace across every node.
+
+        Mounts a LabKVS stack at ``mount`` on each node that does not
+        already carry one, builds the consistent-hash ring over
+        ``(name, failure_domain)``, and returns the sharded surface.
+        """
+        if not self._built:
+            raise LabStorError("build() the cluster before sharding a KVS")
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            try:
+                node.runtime.namespace.resolve(mount)
+            except LabStorError:
+                (node.stack(mount)
+                     .kvs(variant=variant, nworkers=nworkers)
+                     .device(device)
+                     .mount())
+        ring = HashRing(
+            [(n.name, n.failure_domain)
+             for n in (self.nodes[k] for k in sorted(self.nodes))],
+            vnodes=vnodes,
+        )
+        return ShardedKVS(
+            self.client(gateway), mount=mount, ring=ring,
+            replicas=replicas, quorum=quorum, timeout_ns=timeout_ns,
+        )
+
+    # -- faults --------------------------------------------------------
+    def install_faults(self, plan, *, node: str) -> object:
+        """Arm a fault plan scoped to one named node."""
+        try:
+            target = self.nodes[node]
+        except KeyError:
+            raise LabStorError(
+                f"unknown node {node!r}; cluster has {sorted(self.nodes)}"
+            ) from None
+        return target.install_faults(plan)
+
+    # -- lifecycle -----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "nodes": {
+                n.name: {"online": n.online, "domain": n.failure_domain}
+                for n in (self.nodes[k] for k in sorted(self.nodes))
+            },
+            "fabric": self.fabric.stats(),
+            "routes": {
+                f"{s}->{d}": {"remote_calls": r.remote_calls, "nacks": r.nacks}
+                for (s, d), r in sorted(self._routes.items())
+            },
+        }
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Tear the whole cluster down: drain NIC queue pairs, close
+        routes and clients, stop every node's Runtime daemons."""
+        if drain:
+            # a route to a dead node still drains: its in-flight ops ride
+            # out the crash window and complete as NACKs
+            for key in sorted(self._routes):
+                self.env.run(self._routes[key].qp.drained())
+        for c in self._clients:
+            c.close()
+        self._clients.clear()
+        for key in sorted(self._routes):
+            self._routes[key].close()
+        for name in sorted(self.nodes):
+            self.nodes[name].shutdown(drain=drain)
+        # unwind the just-scheduled interrupts (same dance as
+        # LabStorSystem.shutdown) so no dead process lingers
+        env = self.env
+        while (env._urgent or env._due or env._heap) and env.peek() <= env.now:
+            env.step()
+
+    def run(self, *args, **kw):
+        return self.env.run(*args, **kw)
+
+    def process(self, gen, **kw):
+        return self.env.process(gen, **kw)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"<Cluster nodes={sorted(self.nodes)} "
+                f"routes={len(self._routes)} built={self._built}>")
+
+
+class _StackScope:
+    """A ``.stack(...)`` scope inside a ClusterBuilder chain.
+
+    Chainable StackBuilder knobs return the scope; builder-level verbs
+    flush (mount + register the service) and continue the outer chain.
+    """
+
+    _BUILDER_VERBS = frozenset(
+        {"node", "link", "connect_all", "build", "stack"}
+    )
+
+    def __init__(self, outer: "ClusterBuilder", node: Node, mount: str) -> None:
+        self._outer = outer
+        self._node = node
+        self._inner = node.stack(mount)
+        self._mount = mount
+        self._flushed = False
+
+    def _flush(self) -> None:
+        if self._flushed:
+            return
+        self._flushed = True
+        self._inner.mount()
+        self._outer._cluster.register_service(self._mount, self._node.name)
+
+    def mount(self):
+        """Mount now and return the outer builder (optional — any
+        builder verb flushes implicitly)."""
+        self._flush()
+        return self._outer
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name in self._BUILDER_VERBS:
+            self._flush()
+            return getattr(self._outer, name)
+        attr = getattr(self._inner, name)
+        if not callable(attr):
+            return attr
+
+        def proxy(*args, **kw):
+            out = attr(*args, **kw)
+            return self if out is self._inner else out
+
+        return proxy
+
+
+class ClusterBuilder:
+    """Fluent cluster composition (create via :func:`cluster`)."""
+
+    def __init__(self, **cluster_kw) -> None:
+        self._cluster = Cluster(**cluster_kw)
+        self._current: Node | None = None
+        self._linked = False
+
+    def node(
+        self,
+        name: str,
+        *,
+        devices=("nvme",),
+        config=None,
+        failure_domain: str | None = None,
+    ) -> "ClusterBuilder":
+        """Add a node; subsequent ``stack()`` calls target it."""
+        if devices is not None:
+            devices = tuple(
+                d if isinstance(d, DeviceSpec) else d for d in devices
+            )
+        self._current = self._cluster.add_node(
+            name, devices=devices, config=config, failure_domain=failure_domain
+        )
+        return self
+
+    def stack(self, mount: str) -> _StackScope:
+        """Open a stack scope on the current node."""
+        if self._current is None:
+            raise LabStorError("call node(...) before stack(...)")
+        return _StackScope(self, self._current, mount)
+
+    def link(self, a: str, b: str, cost: FabricCost | None = None,
+             *, bidirectional: bool = True) -> "ClusterBuilder":
+        self._cluster.link(a, b, cost, bidirectional=bidirectional)
+        self._linked = True
+        return self
+
+    def connect_all(self, cost: FabricCost | None = None) -> "ClusterBuilder":
+        self._cluster.connect_all(cost)
+        self._linked = True
+        return self
+
+    def build(self) -> Cluster:
+        """Finalize: default to a full mesh when no links were declared,
+        then instantiate all routes.  Returns the live Cluster."""
+        if not self._linked and len(self._cluster.nodes) > 1:
+            self._cluster.connect_all()
+        self._cluster.build_routes()
+        return self._cluster
+
+
+def cluster(**kw) -> ClusterBuilder:
+    """Begin a fluent cluster composition::
+
+        cl = cluster(seed=3).node("n0").node("n1").build()
+    """
+    return ClusterBuilder(**kw)

@@ -1,0 +1,185 @@
+"""Cross-node call routing: NIC queue pairs over fabric links.
+
+One :class:`Route` exists per directed, linked node pair.  Its anatomy
+mirrors a real RDMA/NVMe-oF initiator-target path, built entirely from
+existing primitives:
+
+1. the initiator submits a :class:`_RemoteOp` envelope to the route's
+   **NIC queue pair** — an unordered private-memory
+   :class:`~repro.ipc.QueuePair` whose pop cost is the NIC's WQE fetch
+   (``nic_tx_ns``) and whose ``owner`` names the route, so a sanitizer
+   conservation failure says *which node's* NIC leaked;
+2. the TX loop pops the envelope, pays the request's serialization +
+   propagation on the outbound :class:`~repro.cluster.fabric.FabricLink`,
+   and executes the request on the target node through the route's
+   **proxy client** (an ordinary unordered LabStorClient connected to
+   the target's Runtime at setup);
+3. the response pays the return link, then the envelope completes on
+   the NIC QP — **always**, as an error completion (NACK) when anything
+   failed, so ``submitted == completed + inflight`` holds through node
+   crashes, timeouts, and unresolvable mounts;
+4. the RX loop reaps completions (``nic_rx_ns`` per reap) and fires the
+   initiator's pending event.
+
+Target-node crashes surface naturally: the proxy client's Wait rides
+out the crash window and raises :class:`~repro.errors.RuntimeCrashed`,
+which comes back to the caller as the NACK payload — the signal
+:class:`~repro.cluster.ShardedKVS` uses to fail over to a replica.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..ipc.queue_pair import Completion, QueuePair
+from ..sim import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .builder import Cluster
+    from .node import Node
+
+__all__ = ["Route"]
+
+#: fixed wire overhead per message: headers, op code, key framing
+WIRE_HEADER_BYTES = 64
+
+
+def _payload_bytes(value: Any) -> int:
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value)
+    return 0
+
+
+def request_wire_bytes(req: Any) -> int:
+    """On-the-wire size of a request: header + payload blobs/strings."""
+    payload = getattr(req, "payload", None) or {}
+    return WIRE_HEADER_BYTES + sum(_payload_bytes(v) for v in payload.values())
+
+
+def response_wire_bytes(comp: Completion) -> int:
+    """On-the-wire size of a response (errors are header-sized NACKs)."""
+    return WIRE_HEADER_BYTES + _payload_bytes(comp.value)
+
+
+class _RemoteOp:
+    """Envelope a remote call rides through the NIC queue pair."""
+
+    __slots__ = ("path", "req", "timeout_ns", "est_ns")
+
+    def __init__(self, path: str, req: Any, timeout_ns: Optional[int]) -> None:
+        self.path = path
+        self.req = req
+        self.timeout_ns = timeout_ns
+        self.est_ns = 0  # queue-depth estimator input (NIC QPs don't classify)
+
+
+class Route:
+    """One directed initiator→target path (built by the Cluster)."""
+
+    def __init__(self, cluster: "Cluster", src: "Node", dst: "Node") -> None:
+        env = cluster.env
+        self.env = env
+        self.src = src
+        self.dst = dst
+        self.out = cluster.fabric.link(src.name, dst.name)
+        self.back = cluster.fabric.link(dst.name, src.name)
+        self.qp = QueuePair(
+            env,
+            primary=False,
+            ordered=False,
+            depth=4096,
+            segment=None,
+            pop_cost_ns=self.out.cost.nic_tx_ns,
+            owner=f"fabric:{src.name}->{dst.name}",
+        )
+        # target-side execution identity: one unordered client per route,
+        # connected at setup (connect drives the sim; mid-run would break)
+        self.proxy = dst.client(ordered=False)
+        self._pending: dict[int, Event] = {}  # req_id -> initiator event
+        self.remote_calls = 0
+        self.nacks = 0
+        self._tx = env.process(
+            self._tx_loop(), name=f"nic.{src.name}->{dst.name}.tx", daemon=True
+        )
+        self._rx = env.process(
+            self._rx_loop(), name=f"nic.{src.name}->{dst.name}.rx", daemon=True
+        )
+
+    # -- initiator side ------------------------------------------------
+    def call(self, path: str, req: Any, timeout_ns: int | None = None):
+        """Process generator: one remote call, raising the remote error."""
+        ev = self.env.event()
+        self._pending[req.req_id] = ev
+        try:
+            self.qp.submit(_RemoteOp(path, req, timeout_ns))
+            comp = yield ev
+        except BaseException:
+            self._pending.pop(req.req_id, None)
+            raise
+        if comp.error is not None:
+            raise comp.error
+        return comp.value
+
+    # -- NIC loops -------------------------------------------------------
+    def _tx_loop(self):
+        try:
+            while True:
+                op = yield from self.qp.pop_request()  # pays the WQE fetch
+                # each op executes in its own process so a slow or crashed
+                # target never head-of-line blocks the NIC
+                self.env.process(
+                    self._execute(op),
+                    name=f"nic.{self.src.name}->{self.dst.name}.op{op.req.req_id}",
+                    daemon=True,
+                )
+        except Interrupt:
+            return  # route closed
+
+    def _execute(self, op: _RemoteOp):
+        self.remote_calls += 1
+        req = op.req
+        try:
+            yield from self.out.transfer(request_wire_bytes(req))
+            stack, _ = self.dst.runtime.namespace.resolve(op.path)
+            value = yield from self.proxy.call(stack, req, timeout_ns=op.timeout_ns)
+            comp = Completion(req, value=value)
+        except (Interrupt, GeneratorExit):
+            raise
+        except BaseException as exc:  # noqa: BLE001 - becomes the NACK
+            self.nacks += 1
+            comp = Completion(req, error=exc)
+        try:
+            yield from self.back.transfer(response_wire_bytes(comp))
+        except (Interrupt, GeneratorExit):
+            raise
+        except BaseException as exc:  # noqa: BLE001 - return path failed
+            if comp.error is None:
+                self.nacks += 1
+                comp = Completion(req, error=exc)
+        # conservation: every accepted submission completes, ack or NACK
+        self.qp.complete(comp)
+
+    def _rx_loop(self):
+        try:
+            while True:
+                comp = yield from self.qp.pop_completion()  # pays nic_rx-ish reap
+                ev = self._pending.pop(comp.request.req_id, None)
+                if ev is not None and not ev.triggered:
+                    ev.succeed(comp)
+        except Interrupt:
+            return  # route closed
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        for proc in (self._tx, self._rx):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("route closed")
+        self._tx = self._rx = None
+        self.proxy.close()
+        self._pending.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"<Route {self.src.name}->{self.dst.name} "
+                f"calls={self.remote_calls} nacks={self.nacks}>")

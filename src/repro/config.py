@@ -1,0 +1,77 @@
+"""One typed accessor for the ``REPRO_*`` process-environment seams.
+
+Three subsystems grew their own environment-variable switches over the
+PR sequence — ``REPRO_SANITIZE`` (repro.sim.sanitizer), ``REPRO_TELEMETRY``
+(repro.obs.telemetry) and ``REPRO_FAULTS`` (repro.faults.plan) — each
+with its own ad-hoc parse.  This module is now the single parse site:
+:func:`current` reads the process environment once per call and returns a
+frozen :class:`ReproConfig`, and the legacy helpers
+(``sanitize_requested()``, ``telemetry_requested()``, ``plan_from_env()``)
+delegate here, so old call sites keep working unchanged.
+
+Precedence (documented contract, enforced by the facades):
+
+1. **Explicit constructor arguments win** — ``LabStorSystem(telemetry=...,
+   fault_plan=...)`` and ``Sanitizer().install(env)`` override whatever
+   the environment says.
+2. **Environment variables** apply only when the facade was given ``None``
+   (the "defer to the environment" value).
+3. **Unset / empty / "0"** means off for the boolean seams and "no plan"
+   for ``REPRO_FAULTS``.
+
+The environment is re-read on every :func:`current` call (no import-time
+caching) so tests can monkeypatch ``os.environ`` freely.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+__all__ = [
+    "ReproConfig",
+    "current",
+    "SANITIZE_ENV_VAR",
+    "TELEMETRY_ENV_VAR",
+    "FAULTS_ENV_VAR",
+]
+
+#: arm the strict sanitizer on every facade-built environment
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+#: arm span telemetry on every facade-built environment
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+#: a fault plan in ``FaultPlan.parse`` text form, armed on every system
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: values meaning "off" for every seam (empty string and literal zero)
+_OFF = ("", "0")
+
+
+def _flag(environ: Mapping[str, str], name: str) -> bool:
+    return environ.get(name, "") not in _OFF
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """A typed snapshot of the ``REPRO_*`` environment seams."""
+
+    sanitize: bool = False
+    telemetry: bool = False
+    faults: Optional[str] = None  # FaultPlan.parse text, None = no plan
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "ReproConfig":
+        """Parse one environment mapping (default: ``os.environ``)."""
+        env = os.environ if environ is None else environ
+        faults_text = env.get(FAULTS_ENV_VAR, "")
+        return cls(
+            sanitize=_flag(env, SANITIZE_ENV_VAR),
+            telemetry=_flag(env, TELEMETRY_ENV_VAR),
+            faults=None if faults_text in _OFF else faults_text,
+        )
+
+
+def current(environ: Mapping[str, str] | None = None) -> ReproConfig:
+    """The process's current ``REPRO_*`` configuration (re-read per call)."""
+    return ReproConfig.from_env(environ)

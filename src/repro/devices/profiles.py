@@ -109,10 +109,12 @@ PROFILES: dict[str, DeviceProfile] = {
 
 _CLASSES = {"nvme": Nvme, "ssd": SataSsd, "hdd": Hdd, "pmem": Pmem, "zns": ZnsNvme}
 
-#: DeviceProfile fields a caller may override (``name`` is the profile key)
-_OVERRIDABLE = tuple(
+#: DeviceProfile fields a caller may override (``name`` is the profile key).
+#: Kept sorted so validation errors list the valid keys in a stable,
+#: scannable order regardless of dataclass field declaration order.
+_OVERRIDABLE = tuple(sorted(
     f.name for f in dataclasses.fields(DeviceProfile) if f.name != "name"
-)
+))
 
 
 def _validate_overrides(kind: str, overrides: dict) -> None:
@@ -120,7 +122,7 @@ def _validate_overrides(kind: str, overrides: dict) -> None:
     if bad:
         raise LabStorError(
             f"unknown DeviceProfile override(s) {bad} for device kind {kind!r}; "
-            f"valid keys: {sorted(_OVERRIDABLE)}"
+            f"valid keys: {list(_OVERRIDABLE)}"
         )
 
 

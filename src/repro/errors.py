@@ -109,3 +109,16 @@ class RetriesExhausted(LabStorError):
 class ConsistencyError(LabStorError):
     """Crash-consistency check failed: recovered state is not a
     prefix-consistent view of the acknowledged operations."""
+
+
+class FabricError(LabStorError):
+    """No usable network path between two cluster nodes (missing link,
+    unknown node, or a route used before the cluster was built)."""
+
+
+class QuorumError(LabStorError):
+    """A replicated KVS operation could not reach its ack quorum.
+
+    Raised by :class:`repro.cluster.ShardedKVS` once enough replicas have
+    failed that the required quorum is unreachable; carries the last
+    replica error as ``__cause__``-style context in the message."""

@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments --list
 
 Figure names: anatomy, table1, fig5a, fig5b, fig6, fig7, fig8, fig9a,
-fig9b, fig9c, ablations, faults, batching, openloop.
+fig9b, fig9c, ablations, faults, batching, openloop, cluster.
 """
 
 from __future__ import annotations
@@ -18,6 +18,7 @@ from . import (
     ablations,
     anatomy,
     batching,
+    cluster_scaling,
     fault_recovery,
     filebench_eval,
     labios_eval,
@@ -81,6 +82,8 @@ FIGURES = {
         batching.sweep_batching(nops=256))),
     "openloop": lambda: print(openloop.format_openloop(
         openloop.sweep_openloop())),
+    "cluster": lambda: print(cluster_scaling.format_cluster_scaling(
+        cluster_scaling.sweep_cluster_scaling())),
 }
 
 

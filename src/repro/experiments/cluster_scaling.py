@@ -1,0 +1,220 @@
+"""E14 — sharded GenericKVS scaling across cluster nodes.
+
+Fixed offered load (a constant pool of closed-loop client processes,
+constant total op count) against a :class:`~repro.cluster.ShardedKVS`
+spread over 1..N single-worker nodes.  With one Runtime worker per node
+the single-node deployment is service-time bound, so adding nodes adds
+genuine capacity: throughput should scale near-linearly until the
+fabric round trip (NIC fetch + serialization + propagation, both ways)
+starts to dominate; the replicated points price the write fan-out.
+
+The second half re-hosts the paper's PFS evaluation (E8 / Fig 9(a)) on
+genuine cluster nodes: the MDS runs a LabFS stack on its own node, each
+data server's ext4 rides its own node's device, and every PFS message
+pays the shared fabric through :class:`~repro.cluster.FabricTransport`
+instead of the standalone latency+bandwidth formula.
+
+Everything here is deterministic: results depend only on (point, seed),
+and :func:`sweep_cluster_scaling` fans points through
+:func:`~repro.experiments.sweep.run_sweep`, so process counts cannot
+change the digest.
+"""
+
+from __future__ import annotations
+
+from ..core.runtime import RuntimeConfig
+from ..kernel import make_filesystem
+from ..mods.generic_fs import GenericFS
+from ..pfs import OrangeFs
+from ..sim.check import reset_global_counters
+from ..units import to_sec
+from ..workloads.fsapi import GenericFsAdapter, KernelFsAdapter
+from ..workloads.vpic import VpicConfig, run_bdcats, run_vpic
+from .report import format_table
+from .sweep import run_sweep
+
+__all__ = [
+    "run_cluster_scaling",
+    "sweep_cluster_scaling",
+    "format_cluster_scaling",
+    "run_pfs_cluster",
+]
+
+
+def _bench_loop(kvs, i: int, nops: int, value_size: int):
+    payload = bytes(value_size)
+    for j in range(nops):
+        yield from kvs.put(f"c{i}.k{j}", payload)
+    for j in range(nops):
+        yield from kvs.get(f"c{i}.k{j}")
+
+
+def run_cluster_scaling(
+    *,
+    nnodes: int = 2,
+    replicas: int = 1,
+    nclients: int = 32,
+    ops_per_client: int = 16,
+    value_size: int = 256,
+    vnodes: int = 64,
+    seed: int = 0,
+) -> dict:
+    """One E14 point: ``nclients`` closed loops over an ``nnodes``-node
+    sharded KVS with ``replicas``-way replication.
+
+    Offered load is fixed by construction — the loop pool and total op
+    count do not change with the node count — so ops/s differences are
+    pure capacity."""
+    from ..cluster import cluster as cluster_builder
+
+    b = cluster_builder(seed=seed)
+    cfg = RuntimeConfig(nworkers=1, min_workers=1, max_workers=1)
+    for i in range(nnodes):
+        b.node(f"n{i}", config=cfg)
+    cl = b.build()
+    kvs = cl.shard_kvs("kvs::/bench", replicas=replicas, vnodes=vnodes)
+    # one gateway per node: clients enter the cluster where they live,
+    # like real tenants, instead of funneling through a single node
+    gateways = [kvs] + [
+        kvs.bind(cl.client(f"n{i}")) for i in range(1, nnodes)
+    ]
+    procs = [
+        cl.process(
+            _bench_loop(gateways[i % nnodes], i, ops_per_client, value_size),
+            name=f"bench.loop{i}",
+        )
+        for i in range(nclients)
+    ]
+    t0 = cl.env.now
+    for p in procs:
+        cl.run(p)
+    elapsed_ns = cl.env.now - t0
+    total_ops = nclients * ops_per_client * 2
+    fabric_bytes = sum(s["bytes"] for s in cl.fabric.stats().values())
+    remote_calls = sum(r.remote_calls for r in cl._routes.values())
+    cl.shutdown()
+    return {
+        "nnodes": nnodes,
+        "replicas": replicas,
+        "ops": total_ops,
+        "elapsed_ms": elapsed_ns / 1e6,
+        "kops_s": total_ops / to_sec(elapsed_ns) / 1e3 if elapsed_ns else 0.0,
+        "remote_calls": remote_calls,
+        "fabric_MB": fabric_bytes / 1e6,
+        "fanout_failovers": kvs.failovers,
+    }
+
+
+def _scaling_point(point: dict, seed: int) -> dict:
+    """Module-level sweep fn (crosses the process pool).  Resetting the
+    identity counters first makes the run independent of whatever the
+    worker process simulated before — the digest-stability contract."""
+    reset_global_counters()
+    row = run_cluster_scaling(
+        nnodes=point["nnodes"],
+        replicas=point["replicas"],
+        nclients=point.get("nclients", 32),
+        ops_per_client=point.get("ops_per_client", 16),
+        seed=seed,
+    )
+    row["seed"] = seed
+    return row
+
+
+def sweep_cluster_scaling(
+    *,
+    node_counts=(1, 2, 4),
+    replica_counts=(1, 2),
+    nclients: int = 32,
+    ops_per_client: int = 16,
+    base_seed: int = 0,
+    processes: int | None = None,
+) -> list[dict]:
+    """The E14 grid: node count x replication factor (points needing
+    more nodes than they have are skipped)."""
+    points = [
+        {"nnodes": n, "replicas": r,
+         "nclients": nclients, "ops_per_client": ops_per_client}
+        for n in node_counts
+        for r in replica_counts
+        if r <= n
+    ]
+    return run_sweep(_scaling_point, points, base_seed=base_seed,
+                     processes=processes)
+
+
+def format_cluster_scaling(rows: list[dict]) -> str:
+    base = {
+        r["replicas"]: r["kops_s"] for r in rows if r["nnodes"] == min(
+            row["nnodes"] for row in rows
+        )
+    }
+    return format_table(
+        ["nodes", "replicas", "kops/s", "speedup", "elapsed (ms)",
+         "remote calls", "fabric MB"],
+        [[r["nnodes"], r["replicas"], f"{r['kops_s']:.1f}",
+          f"{r['kops_s'] / base[r['replicas']]:.2f}x"
+          if base.get(r["replicas"]) else "-",
+          f"{r['elapsed_ms']:.2f}", r["remote_calls"],
+          f"{r['fabric_MB']:.2f}"] for r in rows],
+        title="E14 — sharded GenericKVS throughput vs. cluster size",
+    )
+
+
+# ----------------------------------------------------------------------
+# PFS re-hosted on genuine nodes
+# ----------------------------------------------------------------------
+def run_pfs_cluster(
+    *,
+    ndata: int = 4,
+    data_device: str = "nvme",
+    mds_variant: str = "min",
+    cfg: VpicConfig | None = None,
+    seed: int = 0,
+) -> dict:
+    """The Fig 9(a) evaluation with every server on a real cluster node.
+
+    Node ``cn`` hosts the compute client, ``mds`` runs LabFS-<variant>
+    on its own Runtime, and each ``d<i>`` data server's ext4 rides that
+    node's device.  PFS messages pay the shared fabric."""
+    from ..cluster import FabricTransport, cluster as cluster_builder
+
+    cfg = cfg or VpicConfig(nprocs=2, timesteps=2, particles_per_proc=2048)
+    b = cluster_builder(seed=seed)
+    b.node("cn")
+    b.node("mds", config=RuntimeConfig(nworkers=4, min_workers=4, max_workers=8))
+    for i in range(ndata):
+        b.node(f"d{i}", devices=(data_device,))
+    cl = b.build()
+
+    mds_node = cl.nodes["mds"]
+    mds_node.stack("fs::/mds").fs(variant=mds_variant, nworkers=4).mount()
+    cl.register_service("fs::/mds", "mds")
+    mds_api = GenericFsAdapter(GenericFS(mds_node.client()), "fs::/mds")
+    data_apis = [
+        KernelFsAdapter(make_filesystem(
+            "ext4", cl.env, cl.nodes[f"d{i}"].devices[data_device]))
+        for i in range(ndata)
+    ]
+    transport = FabricTransport(
+        cl.fabric, "cn",
+        {"mds": "mds", **{i: f"d{i}" for i in range(ndata)}},
+    )
+    pfs = OrangeFs(cl.env, mds_api, data_apis, transport=transport)
+    vpic = run_vpic(cl.env, pfs, cfg)
+    pfs.drop_data_caches()
+    bdcats = run_bdcats(cl.env, pfs, cfg)
+    fabric_bytes = sum(s["bytes"] for s in cl.fabric.stats().values())
+    cl.shutdown()
+    return {
+        "ndata": ndata,
+        "data_device": data_device,
+        "mds_variant": mds_variant,
+        "vpic_s": to_sec(vpic.elapsed_ns),
+        "bdcats_s": to_sec(bdcats.elapsed_ns),
+        "vpic_MBps": vpic.bandwidth_MBps,
+        "bdcats_MBps": bdcats.bandwidth_MBps,
+        "metadata_ops": vpic.metadata_ops + bdcats.metadata_ops,
+        "fabric_messages": transport.messages,
+        "fabric_MB": fabric_bytes / 1e6,
+    }

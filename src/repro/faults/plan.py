@@ -34,17 +34,14 @@ with ``us``/``ms``/``s`` suffixes on durations::
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Optional
 
+from ..config import FAULTS_ENV_VAR
+from ..config import current as _config
 from ..errors import LabStorError
 
 __all__ = ["FaultSpec", "FaultPlan", "FAULTS_ENV_VAR", "plan_from_env", "KINDS"]
-
-#: set to a plan string (see :meth:`FaultPlan.parse`) to arm fault
-#: injection for every system built through the facades
-FAULTS_ENV_VAR = "REPRO_FAULTS"
 
 #: injector kinds that decide per device operation
 DEVICE_KINDS = ("media_error", "latency", "torn_write")
@@ -210,8 +207,12 @@ class FaultPlan:
 
 
 def plan_from_env() -> Optional[FaultPlan]:
-    """Build a plan from ``REPRO_FAULTS``; None when unset/empty/"0"."""
-    text = os.environ.get(FAULTS_ENV_VAR, "")
-    if text in ("", "0"):
+    """Build a plan from ``REPRO_FAULTS``; None when unset/empty/"0".
+
+    The parse of the environment itself lives in :mod:`repro.config`
+    (one parse site for every ``REPRO_*`` seam); this helper only turns
+    the text into a typed :class:`FaultPlan`."""
+    text = _config().faults
+    if text is None:
         return None
     return FaultPlan.parse(text)

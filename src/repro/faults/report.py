@@ -11,12 +11,17 @@ Usage::
     python -m repro.faults.report                  # canned power-cut chaos
     python -m repro.faults.report --writes 200 --seed 7
     python -m repro.faults.report --plan "media_error:device=nvme,probability=0.2"
-    python -m repro.faults.report --json
+    python -m repro.faults.report --json           # JSON to stdout
+    python -m repro.faults.report --json out.json --csv out.csv
+
+Output flags are the shared :mod:`repro.cli` surface: a bare ``--json``
+keeps its historical meaning (JSON to stdout instead of the table), and
+``--json PATH`` / ``--csv PATH`` / ``--out PATH`` write files.
 """
 
 from __future__ import annotations
 
-import json
+import argparse
 import sys
 
 from ..experiments.report import format_kv
@@ -24,6 +29,9 @@ from ..units import msec
 from .plan import FaultPlan
 
 __all__ = ["run_report", "main"]
+
+#: CSV column order: one row per scalar metric of the run
+CSV_HEADERS = ("metric", "value")
 
 
 def run_report(*, nwrites: int = 160, seed: int = 0,
@@ -59,39 +67,42 @@ def _format(result: dict) -> str:
     return format_kv("fault injection & recovery report", pairs)
 
 
-def main(argv: list[str]) -> int:
-    args = list(argv)
-    as_json = "--json" in args
-    if as_json:
-        args.remove("--json")
+def _rows(result: dict) -> list[list]:
+    """Flatten the (one-level-nested) result dict to metric/value rows."""
+    rows: list[list] = []
+    for key in sorted(result):
+        value = result[key]
+        if isinstance(value, dict):
+            for sub in sorted(value):
+                rows.append([f"{key}.{sub}", value[sub]])
+        else:
+            rows.append([key, value])
+    return rows
 
-    def _opt(flag: str, default, cast):
-        if flag in args:
-            i = args.index(flag)
-            try:
-                value = cast(args[i + 1])
-            except (IndexError, ValueError):
-                print(f"{flag} needs a {cast.__name__} argument", file=sys.stderr)
-                raise SystemExit(2) from None
-            del args[i:i + 2]
-            return value
-        return default
 
-    nwrites = _opt("--writes", 160, int)
-    seed = _opt("--seed", 0, int)
-    plan_text = _opt("--plan", None, str)
-    if args:
-        print(f"unknown argument(s): {', '.join(args)}; "
-              "usage: report [--writes N] [--seed N] [--plan TEXT] [--json]",
-              file=sys.stderr)
-        return 2
-    plan = FaultPlan.parse(plan_text) if plan_text else None
-    result = run_report(nwrites=nwrites, seed=seed, plan=plan)
-    if as_json:
-        print(json.dumps(result, indent=2, sort_keys=True, default=str))
-    else:
-        print(_format(result))
-    return 0
+def main(argv: list[str] | None = None) -> int:
+    from ..cli import Report, add_output_flags, emit
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.report",
+        description="Fault injection & recovery chaos report.",
+    )
+    parser.add_argument("--writes", type=int, default=160, metavar="N",
+                        help="writes to issue through the retrying GenericFS")
+    parser.add_argument("--seed", type=int, default=0, metavar="N")
+    parser.add_argument("--plan", metavar="TEXT",
+                        help="REPRO_FAULTS-syntax plan overriding the canned chaos")
+    add_output_flags(parser)
+    args = parser.parse_args(argv)
+
+    plan = FaultPlan.parse(args.plan) if args.plan else None
+    result = run_report(nwrites=args.writes, seed=args.seed, plan=plan)
+    return emit(args, Report(
+        text=_format(result),
+        data=result,
+        csv_headers=CSV_HEADERS,
+        csv_rows=_rows(result),
+    ))
 
 
 if __name__ == "__main__":

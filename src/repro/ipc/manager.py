@@ -66,6 +66,7 @@ class IpcManager:
             depth=depth,
             segment=seg,
             pop_cost_ns=self.cost.shm_hop_ns,
+            owner=f"client{pid}",
         )
         conn = ClientConn(pid, qp, seg)
         self.conns[pid] = conn
@@ -88,7 +89,8 @@ class IpcManager:
         return conn
 
     # -- queue management -----------------------------------------------------
-    def make_intermediate_qp(self, *, ordered: bool = False, depth: int | None = None) -> QueuePair:
+    def make_intermediate_qp(self, *, ordered: bool = False, depth: int | None = None,
+                             owner: str = "runtime") -> QueuePair:
         """Private-memory QP for request-spawned work (no access checks,
         and no cross-core hop: producer and consumer share the Runtime)."""
         qp = QueuePair(
@@ -98,6 +100,7 @@ class IpcManager:
             depth=depth,
             segment=None,
             pop_cost_ns=self.cost.labmod_hop_ns,
+            owner=owner,
         )
         self.qps[qp.qid] = qp
         return qp

@@ -68,9 +68,14 @@ class QueuePair:
         depth: int | None = 4096,
         segment: SharedMemorySegment | None = None,
         pop_cost_ns: int = 950,
+        owner: str = "",
     ) -> None:
         self.env = env
         self.qid = next(_qids)
+        #: who this QP belongs to ("client1001", "fabric:n0->n1", ...);
+        #: sanitizer/fabric conservation failures cite it so a leaked
+        #: counter names the responsible endpoint, not just a bare qid
+        self.owner = owner
         self.primary = primary
         self.ordered = ordered
         self.segment = segment
@@ -97,6 +102,13 @@ class QueuePair:
         self.batches_submitted = 0      # doorbells rung
         self.batch_ops_submitted = 0    # SQEs behind those doorbells
         self.batch_ops_accepted = 0     # of those, accepted by the SQ so far
+
+    @property
+    def owner_tag(self) -> str:
+        """``"QP <qid> (<owner>)"`` for diagnostics; bare qid if unnamed."""
+        if self.owner:
+            return f"QP {self.qid} ({self.owner})"
+        return f"QP {self.qid}"
 
     # -- access control ---------------------------------------------------
     def _check(self, pid: int | None) -> None:
@@ -227,7 +239,7 @@ class QueuePair:
         if self.inflight <= 0:
             # Reject before touching the counters: a bad completion must not
             # corrupt the conservation bookkeeping it is about to violate.
-            raise IpcError(f"QP {self.qid}: completion without submission")
+            raise IpcError(f"{self.owner_tag}: completion without submission")
         self.inflight -= 1
         self.completed_total += 1
         if self.env._audit:
@@ -280,7 +292,7 @@ class QueuePair:
 
     def ack_update(self) -> None:
         if self.flag is not QueueFlag.UPDATE_PENDING:
-            raise IpcError(f"QP {self.qid}: ack without pending update")
+            raise IpcError(f"{self.owner_tag}: ack without pending update")
         self.flag = QueueFlag.UPDATE_ACKED
 
     def resume(self) -> None:
@@ -289,4 +301,5 @@ class QueuePair:
     def __repr__(self) -> str:
         kind = "primary" if self.primary else "intermediate"
         order = "ordered" if self.ordered else "unordered"
-        return f"<QP {self.qid} {kind}/{order} sq={len(self.sq)} inflight={self.inflight}>"
+        who = f" owner={self.owner}" if self.owner else ""
+        return f"<QP {self.qid}{who} {kind}/{order} sq={len(self.sq)} inflight={self.inflight}>"

@@ -10,7 +10,12 @@ Run the anatomy experiment across the canonical configurations from the
 command line::
 
     PYTHONPATH=src python -m repro.obs.report [--op write|read]
-        [--nops N] [--bs BYTES] [--seed S] [--json PATH] [--csv PATH]
+        [--nops N] [--bs BYTES] [--seed S]
+        [--json [PATH]] [--csv [PATH]] [--out PATH]
+
+Output flags are the shared :mod:`repro.cli` surface (bare ``--json`` /
+``--csv`` print to stdout instead of the table; ``--out`` redirects the
+plain-text report).
 
 which prints, for each of Lab-All, Lab-Min, Lab-D, and the ext4 kernel
 baseline, a submit/queue/module/device/completion table whose components
@@ -32,6 +37,7 @@ __all__ = [
     "format_breakdown",
     "breakdown_to_json",
     "breakdown_to_csv",
+    "breakdown_rows",
     "main",
 ]
 
@@ -111,22 +117,34 @@ def breakdown_to_json(results: dict[str, dict[str, Any]], path: str | None = Non
     return text
 
 
+#: CSV column order shared by :func:`breakdown_to_csv` and the CLI
+CSV_HEADERS = ("config", "phase", "count", "total_ns", "mean_ns", "fraction")
+
+
+def breakdown_rows(results: dict[str, dict[str, Any]]) -> list[list[Any]]:
+    """Flatten ``{config: breakdown}`` to :data:`CSV_HEADERS` rows."""
+    rows: list[list[Any]] = []
+    for config, bd in results.items():
+        for phase in PHASES:
+            p = bd["phases"][phase]
+            rows.append([
+                config, phase, bd["count"],
+                p["total_ns"], f"{p['mean_ns']:.1f}", f"{p['fraction']:.6f}",
+            ])
+        rows.append([
+            config, "e2e", bd["count"],
+            bd["e2e"]["total_ns"], f"{bd['e2e']['mean_ns']:.1f}", "1.000000",
+        ])
+    return rows
+
+
 def breakdown_to_csv(results: dict[str, dict[str, Any]], path: str | None = None) -> str:
     """Flatten ``{config: breakdown}`` to CSV rows (config, phase, ...)."""
     buf = io.StringIO()
     writer = csv.writer(buf)
-    writer.writerow(["config", "phase", "count", "total_ns", "mean_ns", "fraction"])
-    for config, bd in results.items():
-        for phase in PHASES:
-            p = bd["phases"][phase]
-            writer.writerow([
-                config, phase, bd["count"],
-                p["total_ns"], f"{p['mean_ns']:.1f}", f"{p['fraction']:.6f}",
-            ])
-        writer.writerow([
-            config, "e2e", bd["count"],
-            bd["e2e"]["total_ns"], f"{bd['e2e']['mean_ns']:.1f}", "1.000000",
-        ])
+    writer.writerow(list(CSV_HEADERS))
+    for row in breakdown_rows(results):
+        writer.writerow(row)
     text = buf.getvalue()
     if path:
         with open(path, "w", encoding="utf-8", newline="") as f:
@@ -135,6 +153,8 @@ def breakdown_to_csv(results: dict[str, dict[str, Any]], path: str | None = None
 
 
 def main(argv: list[str] | None = None) -> int:
+    from ..cli import Report, add_output_flags, emit
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Span-derived Fig 4 anatomy across the canonical stacks.",
@@ -143,8 +163,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--nops", type=int, default=32)
     parser.add_argument("--bs", type=int, default=4096)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--json", metavar="PATH", help="write breakdown JSON here")
-    parser.add_argument("--csv", metavar="PATH", help="write breakdown CSV here")
+    add_output_flags(parser)
     args = parser.parse_args(argv)
 
     # imported lazily: experiments pull in the whole system stack
@@ -153,19 +172,21 @@ def main(argv: list[str] | None = None) -> int:
     results = run_phase_anatomy(
         op=args.op, nops=args.nops, bs=args.bs, seed=args.seed
     )
-    for config, result in results.items():
-        bd = result["breakdown"]
-        print(format_breakdown(bd, title=f"{config} — 4KB {args.op}"))
+    breakdowns = {k: v["breakdown"] for k, v in results.items()}
+    sections = []
+    for config, bd in breakdowns.items():
         phase_sum = sum(p["total_ns"] for p in bd["phases"].values())
         delta = phase_sum - bd["e2e"]["total_ns"]
-        print(f"  phase sum - e2e = {delta} ns\n")
-    if args.json:
-        breakdown_to_json({k: v["breakdown"] for k, v in results.items()}, args.json)
-        print(f"wrote {args.json}")
-    if args.csv:
-        breakdown_to_csv({k: v["breakdown"] for k, v in results.items()}, args.csv)
-        print(f"wrote {args.csv}")
-    return 0
+        sections.append(
+            format_breakdown(bd, title=f"{config} — 4KB {args.op}")
+            + f"\n  phase sum - e2e = {delta} ns\n"
+        )
+    return emit(args, Report(
+        text="\n".join(sections).rstrip("\n"),
+        data=breakdowns,
+        csv_headers=CSV_HEADERS,
+        csv_rows=breakdown_rows(breakdowns),
+    ))
 
 
 if __name__ == "__main__":  # pragma: no cover

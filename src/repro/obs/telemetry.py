@@ -29,9 +29,10 @@ goodput-under-faults and recovery time fall out of the same hub.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Optional
 
+from ..config import TELEMETRY_ENV_VAR
+from ..config import current as _config
 from ..sim.trace import TraceEvent
 from .metrics import MetricsRegistry
 from .spans import SpanContext
@@ -41,13 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Telemetry", "TELEMETRY_ENV_VAR", "telemetry_requested", "maybe_attach"]
 
-#: set to a non-empty value (other than "0") to arm request telemetry for
-#: every system/experiment environment built by the harnesses
-TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
-
 
 def telemetry_requested() -> bool:
-    return os.environ.get(TELEMETRY_ENV_VAR, "") not in ("", "0")
+    return _config().telemetry
 
 
 def maybe_attach(env: "Environment") -> "Telemetry | None":

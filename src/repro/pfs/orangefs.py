@@ -44,6 +44,7 @@ class OrangeFs:
         net_lat_ns: int = usec(30.0),
         net_bw: float = 1.2e9,  # ~10GbE payload rate, bytes/sec
         layout_batch: int = 4,  # stripes covered by one MDS layout record
+        transport=None,
     ) -> None:
         self.env = env
         self.mds = mds_api
@@ -53,13 +54,21 @@ class OrangeFs:
         self.stripe_size = stripe_size
         self.net_lat_ns = net_lat_ns
         self.net_bw = net_bw
+        #: pluggable network: an object with ``transfer(peer, nbytes)``
+        #: (a process generator), e.g. repro.cluster's FabricTransport.
+        #: None keeps the built-in latency+bandwidth model, byte-identical
+        #: to the pre-seam behavior.  Peers: "mds" or a data-server index.
+        self.transport = transport
         self.layout_batch = max(1, layout_batch)
         self.metadata_ops = 0
         self.bytes_moved = 0
         self._stripe_maps: dict[str, int] = {}  # path -> stripe count
 
     # -- network model ------------------------------------------------------
-    def _net(self, nbytes: int):
+    def _net(self, nbytes: int, peer="mds"):
+        if self.transport is not None:
+            yield from self.transport.transfer(peer, nbytes)
+            return
         yield self.env.timeout(self.net_lat_ns + round(nbytes / self.net_bw * 1e9))
 
     # -- metadata path ------------------------------------------------------
@@ -90,7 +99,7 @@ class OrangeFs:
             yield from self._mds_record_stripe(path, s)
             chunk = data[s * self.stripe_size : (s + 1) * self.stripe_size]
             server = self.data[s % len(self.data)]
-            yield from self._net(len(chunk))
+            yield from self._net(len(chunk), peer=s % len(self.data))
             fd = yield from server.open(f"/data{path}.s{s}", create=True)
             yield from server.write(fd, chunk, offset=0)
             # the data server acknowledges durable stripes (PFS semantics)
@@ -118,7 +127,7 @@ class OrangeFs:
             st = yield from server.stat(f"/data{path}.s{s}")
             chunk = yield from server.read(fd, st["size"], offset=0)
             yield from server.close(fd)
-            yield from self._net(len(chunk))
+            yield from self._net(len(chunk), peer=s % len(self.data))
             out.extend(chunk)
             self.bytes_moved += len(chunk)
         return bytes(out)

@@ -362,6 +362,70 @@ def _scenario_openloop(audit: AuditRun) -> dict[str, Any]:
     }
 
 
+def _scenario_cluster(audit: AuditRun) -> dict[str, Any]:
+    """Cluster-scale determinism: a 3-node sharded+replicated KVS doing
+    cross-fabric puts, then a fault-plan power cut killing one replica
+    node mid-run, then failover reads off the survivors.  NIC queue
+    pairs, fabric links, replica fan-out, crash ride-out and quorum
+    accounting all land in one digest."""
+    from ..cluster import cluster as cluster_builder
+    from ..core import RuntimeConfig
+    from ..units import msec, usec
+
+    env = Environment()
+    audit.attach(env)
+    # short restart window: crash detection (restart_wait * 10) must fit
+    # inside the scenario, not the default 1s
+    cfg = RuntimeConfig(nworkers=1, restart_wait_ns=int(usec(50)))
+    cl = (
+        cluster_builder(env=env, seed=11)
+        .node("a", config=cfg, failure_domain="rack-1")
+        .node("b", config=cfg, failure_domain="rack-2")
+        .node("c", config=cfg, failure_domain="rack-3")
+        .build()
+    )
+    kvs = cl.shard_kvs("kvs::/det", replicas=2, timeout_ns=int(msec(1)))
+    # node b dies at 3ms virtual and never restarts
+    cl.install_faults(f"power_cut:at={int(msec(3))}", node="b")
+    nkeys = 18
+
+    def go():
+        for i in range(nkeys):
+            yield from kvs.put(f"det{i}", bytes([i % 251]) * 96)
+        # ride past the power cut, then read through the outage
+        if env.now < msec(3):
+            yield env.timeout(int(msec(3)) - env.now + int(usec(100)))
+        hits = 0
+        for i in range(nkeys):
+            if (yield from kvs.get(f"det{i}")) == bytes([i % 251]) * 96:
+                hits += 1
+        # let the straggler replica branches (timeouts, crash ride-outs)
+        # resolve so the failover count is settled, not racing teardown
+        yield env.timeout(int(msec(2)))
+        return hits
+
+    hits = cl.run(cl.process(go()))
+    assert hits == nkeys, f"failover reads lost keys ({hits}/{nkeys})"
+    assert not cl.nodes["b"].online, "power cut never fired"
+    assert kvs.failovers > 0, "no replica branch ever failed over"
+    remote = sum(r.remote_calls for r in cl._routes.values())
+    assert remote > 0, "no call ever crossed the fabric"
+    stats = cl.stats()
+    cl.shutdown()
+    for route in cl._routes.values():
+        qp = route.qp
+        assert qp.submitted_total == qp.completed_total, (
+            f"{qp.owner_tag}: NIC conservation broken after shutdown"
+        )
+    return {
+        "hits": hits,
+        "remote_calls": remote,
+        "failovers": kvs.failovers,
+        "nacks": sum(r.nacks for r in cl._routes.values()),
+        "fabric": stats["fabric"],
+    }
+
+
 SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {
     "quickstart": _scenario_quickstart,
     "orchestration": _scenario_orchestration,
@@ -369,6 +433,7 @@ SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {
     "faults": _scenario_faults,
     "batching": _scenario_batching,
     "openloop": _scenario_openloop,
+    "cluster": _scenario_cluster,
 }
 
 

@@ -33,9 +33,10 @@ setting ``REPRO_SANITIZE=1`` in the process environment.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Any
 
+from ..config import SANITIZE_ENV_VAR
+from ..config import current as _config
 from ..errors import SanitizerError
 from .core import Environment, Process
 from .trace import TraceEvent
@@ -47,11 +48,12 @@ __all__ = ["Sanitizer", "SanitizerError", "AUDIT_ENV_VAR", "sanitize_requested",
 
 #: set to a non-empty value (other than "0") to attach a strict sanitizer
 #: to every system/experiment environment built by the harnesses
-AUDIT_ENV_VAR = "REPRO_SANITIZE"
+#: (legacy alias; the parse itself lives in :mod:`repro.config`)
+AUDIT_ENV_VAR = SANITIZE_ENV_VAR
 
 
 def sanitize_requested() -> bool:
-    return os.environ.get(AUDIT_ENV_VAR, "") not in ("", "0")
+    return _config().sanitize
 
 
 def maybe_attach(env: Environment) -> "Sanitizer | None":
@@ -127,7 +129,10 @@ class Sanitizer:
 
     def _check_qp(self, qp: Any, now: int) -> None:
         self._count("qp")
-        tag = f"t={now}: QP {qp.qid}"
+        # owner_tag names the responsible endpoint ("client1001",
+        # "fabric:n0->n1"), so a cross-node conservation failure says
+        # which node's QP leaked instead of a bare process-global qid
+        tag = f"t={now}: {getattr(qp, 'owner_tag', None) or f'QP {qp.qid}'}"
         if qp.inflight < 0:
             self._violate(f"{tag} inflight went negative ({qp.inflight})")
         if qp.submitted_total != qp.completed_total + qp.inflight:

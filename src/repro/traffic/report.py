@@ -10,17 +10,18 @@ Usage::
     PYTHONPATH=src python -m repro.traffic.report
         [--duration-ms 2.0] [--load 1.0]
         [--policy none|queue-depth] [--max-inflight 24]
-        [--seed 0] [--json PATH]
+        [--seed 0] [--json [PATH]] [--csv [PATH]] [--out PATH]
 
 ``--load 2.0 --policy none`` shows the goodput collapse;
 ``--policy queue-depth`` shows admission control converting it into
-bounded rejections.
+bounded rejections.  Output flags are the shared :mod:`repro.cli`
+surface (bare ``--json``/``--csv`` print to stdout instead of the
+table; ``--out`` redirects the plain-text report).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Any, Sequence
 
@@ -28,13 +29,15 @@ from ..units import msec
 from .engine import AdmissionPolicy, QueueDepthAdmission
 from .presets import build_overload_engine
 
-__all__ = ["format_slo_report", "main"]
+__all__ = ["format_slo_report", "slo_rows", "main"]
+
+#: per-tenant CSV/table column order (shared by text and ``--csv``)
+CSV_HEADERS = ("tenant", "offered_kops_s", "completed", "goodput_kops_s",
+               "p50_us", "p99_us", "p999_us", "violations", "rejected", "slo")
 
 
-def format_slo_report(summary: dict[str, Any]) -> str:
-    """Aligned per-tenant table over an ``OpenLoopEngine.summary()``."""
-    from ..experiments.report import format_table
-
+def slo_rows(summary: dict[str, Any]) -> list[list[str]]:
+    """One :data:`CSV_HEADERS` row per tenant of an engine summary."""
     rows = []
     for name, t in summary["tenants"].items():
         slo = t["slo"]
@@ -56,17 +59,26 @@ def format_slo_report(summary: dict[str, Any]) -> str:
             f"{t['goodput_ops_s'] / 1000:.1f}", p50, p99, p999,
             str(t["slo_violations"]), str(t["rejected"]), verdict,
         ])
+    return rows
+
+
+def format_slo_report(summary: dict[str, Any]) -> str:
+    """Aligned per-tenant table over an ``OpenLoopEngine.summary()``."""
+    from ..experiments.report import format_table
+
     title = (f"Per-tenant SLO report — policy={summary['policy']}, "
              f"offered {summary['offered_ops_s'] / 1000:.0f} Kops/s, "
              f"peak inflight {summary['peak_inflight']}")
     return format_table(
         ["tenant", "offered K/s", "done", "goodput K/s",
          "p50 us", "p99 us", "p999 us", "viol", "rej", "SLO"],
-        rows, title=title,
+        slo_rows(summary), title=title,
     )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from ..cli import Report, add_output_flags, emit
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.traffic.report",
         description="Open-loop tenant traffic with per-tenant SLO accounting.",
@@ -80,8 +92,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="queue-depth admission threshold (4 holds the "
                              "frontend p99 target at 2 workers)")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--json", metavar="PATH",
-                        help="write the full summary (per-tenant + totals) as JSON")
+    add_output_flags(parser)
     args = parser.parse_args(argv)
 
     policy: AdmissionPolicy | None = None
@@ -92,18 +103,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         load=args.load, policy=policy,
     )
     summary = engine.run()
-    print(format_slo_report(summary))
     tot = summary["totals"]
-    print(f"\ntotals: {tot['launched']} launched, {tot['good']} good, "
+    text = (
+        format_slo_report(summary)
+        + f"\n\ntotals: {tot['launched']} launched, {tot['good']} good, "
           f"{tot['violations']} SLO violations, {tot['rejected']} rejected "
           f"({summary['goodput_ops_s'] / 1000:.1f} Kops/s goodput over "
-          f"{summary['elapsed_ns'] / 1e6:.2f} virtual ms)")
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(summary, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+          f"{summary['elapsed_ns'] / 1e6:.2f} virtual ms)"
+    )
+    code = emit(args, Report(
+        text=text,
+        data=summary,
+        csv_headers=CSV_HEADERS,
+        csv_rows=slo_rows(summary),
+    ))
     system.shutdown()
-    return 0
+    return code
 
 
 if __name__ == "__main__":

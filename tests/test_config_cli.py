@@ -1,0 +1,186 @@
+"""Satellite seams: the typed REPRO_* config accessor, the shared
+report-CLI formatter, named QP owners, and sorted override errors."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    FAULTS_ENV_VAR,
+    SANITIZE_ENV_VAR,
+    TELEMETRY_ENV_VAR,
+    ReproConfig,
+    current,
+)
+
+
+# ----------------------------------------------------------------------
+# repro.config
+# ----------------------------------------------------------------------
+class TestReproConfig:
+    def test_unset_empty_and_zero_mean_off(self):
+        for env in ({}, {SANITIZE_ENV_VAR: "", TELEMETRY_ENV_VAR: "0",
+                      FAULTS_ENV_VAR: "0"}):
+            cfg = ReproConfig.from_env(env)
+            assert cfg == ReproConfig(sanitize=False, telemetry=False,
+                                      faults=None)
+
+    def test_any_other_value_arms_the_flag_seams(self):
+        cfg = ReproConfig.from_env({SANITIZE_ENV_VAR: "1",
+                                    TELEMETRY_ENV_VAR: "yes"})
+        assert cfg.sanitize and cfg.telemetry
+
+    def test_faults_text_passes_through_verbatim(self):
+        text = "power_cut:at=5ms,restart_after=10ms"
+        assert ReproConfig.from_env({FAULTS_ENV_VAR: text}).faults == text
+
+    def test_current_reads_the_process_environment(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "1")
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        cfg = current()
+        assert cfg.sanitize and not cfg.telemetry
+
+    def test_legacy_helpers_delegate_to_config(self, monkeypatch):
+        from repro.faults.plan import plan_from_env
+        from repro.obs.telemetry import maybe_attach as tel_attach
+        from repro.sim import Environment
+
+        monkeypatch.setenv(FAULTS_ENV_VAR, "power_cut:at=1ms")
+        plan = plan_from_env()
+        assert plan is not None and plan.specs[0].kind == "power_cut"
+        monkeypatch.setenv(FAULTS_ENV_VAR, "0")
+        assert plan_from_env() is None
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "0")
+        assert tel_attach(Environment()) is None
+
+
+# ----------------------------------------------------------------------
+# shared report CLI
+# ----------------------------------------------------------------------
+class TestSharedReportCli:
+    def _parse(self, argv):
+        import argparse
+
+        from repro.cli import add_output_flags
+
+        p = argparse.ArgumentParser()
+        add_output_flags(p)
+        return p.parse_args(argv)
+
+    def _report(self):
+        from repro.cli import Report
+
+        return Report(text="the table", data={"metric": 1},
+                      csv_headers=("metric", "value"),
+                      csv_rows=[("metric", 1)])
+
+    def test_plain_invocation_prints_text(self, capsys):
+        from repro.cli import EXIT_OK, emit
+
+        assert emit(self._parse([]), self._report()) == EXIT_OK
+        assert capsys.readouterr().out.strip() == "the table"
+
+    def test_bare_json_prints_json_and_suppresses_text(self, capsys):
+        from repro.cli import emit
+
+        emit(self._parse(["--json"]), self._report())
+        out = capsys.readouterr().out
+        assert json.loads(out) == {"metric": 1}
+        assert "the table" not in out
+
+    def test_json_path_writes_file_and_keeps_text(self, capsys, tmp_path):
+        from repro.cli import emit
+
+        dest = tmp_path / "r.json"
+        emit(self._parse(["--json", str(dest)]), self._report())
+        assert json.loads(dest.read_text()) == {"metric": 1}
+        out = capsys.readouterr().out
+        assert "the table" in out and str(dest) in out
+
+    def test_csv_output(self, capsys, tmp_path):
+        from repro.cli import emit
+
+        emit(self._parse(["--csv"]), self._report())
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "metric,value"
+        dest = tmp_path / "r.csv"
+        emit(self._parse(["--csv", str(dest)]), self._report())
+        assert dest.read_text().splitlines()[1] == "metric,1"
+
+    def test_out_writes_the_text_report(self, tmp_path):
+        from repro.cli import emit
+
+        dest = tmp_path / "report.txt"
+        emit(self._parse(["--out", str(dest)]), self._report())
+        assert dest.read_text().rstrip() == "the table"
+
+    def test_all_three_report_mains_share_the_flags(self):
+        """The unified seam: every report CLI accepts the same output
+        flags (argparse exits 2 on a usage error, the historical code)."""
+        from repro.faults import report as faults_report
+        from repro.obs import report as obs_report
+        from repro.traffic import report as traffic_report
+
+        for mod in (obs_report, faults_report, traffic_report):
+            with pytest.raises(SystemExit) as exc:
+                mod.main(["--definitely-not-a-flag"])
+            assert exc.value.code == 2
+
+    def test_row_extractors_are_importable_and_shaped(self):
+        from repro.obs.report import CSV_HEADERS as OBS_HEADERS
+        from repro.obs.report import breakdown_rows
+        from repro.traffic.report import CSV_HEADERS as TRAFFIC_HEADERS
+        from repro.traffic.report import slo_rows
+
+        from repro.obs import PHASES
+
+        phase = {"total_ns": 4, "mean_ns": 2.0, "fraction": 0.4}
+        bd = {"count": 2, "phases": {p: dict(phase) for p in PHASES},
+              "e2e": {"total_ns": 10, "mean_ns": 5.0}}
+        rows = breakdown_rows({"cfg": bd})
+        assert len(rows) == len(PHASES) + 1  # + the e2e summary row
+        assert all(len(r) == len(OBS_HEADERS) for r in rows)
+        assert slo_rows({"tenants": {}}) == []
+        assert len(TRAFFIC_HEADERS) == 10
+
+
+# ----------------------------------------------------------------------
+# named QP owners + sorted device-override errors
+# ----------------------------------------------------------------------
+class TestDiagnosticsNaming:
+    def test_qp_owner_tag_names_the_endpoint(self):
+        from repro.errors import IpcError
+        from repro.ipc.queue_pair import Completion, QueuePair
+        from repro.sim import Environment
+
+        qp = QueuePair(Environment(), owner="fabric:n0->n1")
+        assert qp.owner_tag == f"QP {qp.qid} (fabric:n0->n1)"
+        with pytest.raises(IpcError, match=r"fabric:n0->n1"):
+            qp.complete(Completion(object()))
+
+    def test_unnamed_qp_keeps_bare_tag(self):
+        from repro.ipc.queue_pair import QueuePair
+        from repro.sim import Environment
+
+        qp = QueuePair(Environment())
+        assert qp.owner_tag == f"QP {qp.qid}"
+
+    def test_device_override_error_lists_valid_keys_sorted(self):
+        from repro.devices.profiles import make_device
+        from repro.errors import LabStorError
+        from repro.sim import Environment
+
+        with pytest.raises(LabStorError) as exc:
+            make_device(Environment(), "nvme", not_a_knob=1)
+        msg = str(exc.value)
+        assert "not_a_knob" in msg
+        listed = msg.split("valid keys: ", 1)[1]
+        keys = [k.strip(" '[]") for k in listed.split(",")]
+        assert keys == sorted(keys)
+
+    def test_device_spec_rejects_unknown_keys_too(self):
+        from repro.devices.profiles import DeviceSpec
+        from repro.errors import LabStorError
+
+        with pytest.raises(LabStorError, match="valid keys"):
+            DeviceSpec("nvme", bogus=3)
