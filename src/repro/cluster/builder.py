@@ -189,6 +189,7 @@ class Cluster:
         nworkers: int = 8,
         gateway: str | None = None,
         timeout_ns: int | None = None,
+        anti_entropy: bool = False,
     ) -> ShardedKVS:
         """Shard (and replicate) a GenericKVS namespace across every node.
 
@@ -215,6 +216,7 @@ class Cluster:
         return ShardedKVS(
             self.client(gateway), mount=mount, ring=ring,
             replicas=replicas, quorum=quorum, timeout_ns=timeout_ns,
+            anti_entropy=anti_entropy,
         )
 
     # -- faults --------------------------------------------------------

@@ -26,6 +26,18 @@ generator surface (put/get/remove/exists) over that placement:
 Late replica completions after the quorum settles are harmless: the
 accumulator checks the settled event before touching it, and the spare
 branches run as daemons on the shared clock (deterministically).
+
+**Anti-entropy** (``anti_entropy=True``): a replica that crashes and
+restarts recovers only what *its own* metadata log held at the power
+cut — writes acked by the surviving quorum during the outage are
+missing, and a quorum-1 read that happens to land on the rejoined node
+would serve stale data.  With anti-entropy on, the gateway registers a
+restart hook on every replica node; a restarting node is marked stale —
+**excluded from read fan-outs only** (writes keep the full preference
+list: fresh writes make it fresher) — while a resync daemon
+quorum-reads every tracked key the node holds a replica of from the
+healthy peers and write-repairs it (or replays a deletion) on the
+recovered node, then lifts the read exclusion.
 """
 
 from __future__ import annotations
@@ -36,6 +48,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 from ..core.requests import LabRequest
 from ..errors import (
+    FsError,
     IpcError,
     MediaError,
     QueueFull,
@@ -149,6 +162,7 @@ class ShardedKVS:
         replicas: int = 1,
         quorum: Optional[int] = None,
         timeout_ns: Optional[int] = None,
+        anti_entropy: bool = False,
     ) -> None:
         if replicas < 1:
             raise QuorumError("need at least one replica")
@@ -173,9 +187,30 @@ class ShardedKVS:
         self.fanouts = 0
         self.failovers = 0
         self.quorum_failures = 0
+        self.anti_entropy = anti_entropy
+        #: nodes currently excluded from read fan-outs (rejoining after a
+        #: crash, not yet re-synced)
+        self._stale: set[str] = set()
+        #: keys this gateway has ever written (resync's worklist; a
+        #: removed key stays tracked so resync can replay the deletion)
+        self._tracked: set[str] = set()
+        self.resyncs = 0
+        self.repaired = 0
+        if anti_entropy:
+            # pure callback registration — no events, so arming anti-
+            # entropy leaves an un-crashed run's trace digest untouched
+            for name in sorted(ring.domains):
+                node = client.cluster.nodes[name]
+                node.runtime.on_restart(
+                    lambda n=name: self._on_node_restart(n)
+                )
 
     def bind(self, client: "ClusterClient") -> "ShardedKVS":
-        """A second gateway on another node sharing this placement."""
+        """A second gateway on another node sharing this placement.
+
+        Anti-entropy stays with the primary gateway — bound gateways
+        would otherwise register duplicate restart hooks and race the
+        same repairs."""
         return ShardedKVS(
             client, mount=self.mount, ring=self.ring, replicas=self.replicas,
             quorum=self.write_quorum, timeout_ns=self.timeout_ns,
@@ -238,8 +273,62 @@ class ShardedKVS:
     def _targets(self, key: str) -> list[str]:
         return self.ring.preference(key, self.replicas)
 
+    def _targets_read(self, key: str) -> list[str]:
+        """Preference list minus stale (rejoined, un-resynced) replicas;
+        falls back to the full list when exclusion would leave nothing."""
+        pref = self._targets(key)
+        if not self._stale:
+            return pref
+        healthy = [n for n in pref if n not in self._stale]
+        return healthy or pref
+
+    # -- anti-entropy --------------------------------------------------
+    def _on_node_restart(self, node_name: str) -> None:
+        """Restart hook: quarantine the rejoined replica's reads and
+        launch its resync."""
+        self._stale.add(node_name)
+        self.env.process(
+            self._resync(node_name),
+            name=f"skvs.resync.{node_name}",
+            daemon=True,
+        )
+
+    def _resync(self, node_name: str):
+        """Process generator: repair every tracked key the recovered node
+        replicates from a quorum read of its healthy peers, then lift the
+        read exclusion."""
+        for key in sorted(self._tracked):
+            pref = self._targets(key)
+            if node_name not in pref:
+                continue
+            healthy = [n for n in pref if n != node_name and n not in self._stale]
+            if not healthy:
+                continue  # no fresh peer to read from; leave quarantined
+            req: Optional[LabRequest] = None
+            try:
+                value = yield from self._fanout("kvs.get", {"key": key}, healthy, 1)
+            except FsError:
+                # deleted during the outage: replay the deletion
+                req = LabRequest(op="kvs.remove", payload={"key": key})
+            except QuorumError:
+                continue  # peers unreachable right now; skip this key
+            else:
+                req = LabRequest(op="kvs.put", payload={"key": key, "value": value})
+            try:
+                yield from self.client.call_on(
+                    node_name, self.mount, req, timeout_ns=self.timeout_ns
+                )
+            except FsError:
+                pass  # removing an already-absent key: nothing to repair
+            except FAILOVER_ERRORS:
+                return  # node died again mid-resync; next restart retries
+            self.repaired += 1
+        self._stale.discard(node_name)
+        self.resyncs += 1
+
     # -- GenericKVS surface ------------------------------------------------
     def put(self, key: str, value: bytes):
+        self._tracked.add(key)
         yield from self._intercept()
         return (yield from self._fanout(
             "kvs.put", {"key": key, "value": value},
@@ -249,7 +338,7 @@ class ShardedKVS:
     def get(self, key: str):
         yield from self._intercept()
         return (yield from self._fanout(
-            "kvs.get", {"key": key}, self._targets(key), 1,
+            "kvs.get", {"key": key}, self._targets_read(key), 1,
         ))
 
     def remove(self, key: str):
@@ -261,5 +350,5 @@ class ShardedKVS:
     def exists(self, key: str):
         yield from self._intercept()
         return (yield from self._fanout(
-            "kvs.exists", {"key": key}, self._targets(key), 1,
+            "kvs.exists", {"key": key}, self._targets_read(key), 1,
         ))

@@ -210,7 +210,7 @@ class LabStorClient:
             for req in reqs:
                 try:
                     value = yield from self.call(stack, req, timeout_ns=timeout_ns)
-                except Interrupt:
+                except (Interrupt, GeneratorExit):
                     raise
                 except BaseException as exc:  # noqa: BLE001 - per-op surface
                     comps.append(Completion(req, error=exc))
@@ -250,7 +250,7 @@ class LabStorClient:
             else:
                 try:
                     comp = yield from self._wait(ev, deadline)
-                except Interrupt:
+                except (Interrupt, GeneratorExit):
                     raise
                 except BaseException as exc:  # noqa: BLE001 - per-op surface
                     self._pending.pop(req.req_id, None)

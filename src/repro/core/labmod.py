@@ -196,6 +196,23 @@ class LabMod(abc.ABC):
     def state_repair(self) -> None:
         """Repair state after a Runtime crash (default: nothing to do)."""
 
+    def on_snapshot(self) -> dict:
+        """Export durable state as plain picklable data (no env refs).
+
+        Mirrors :meth:`on_crash`: what survives a power cut is exactly
+        what belongs in a snapshot.  Stateful LabMods override this to
+        export metadata logs / allocators; the default captures only the
+        generic counters.
+        """
+        return {"processed": self.processed, "version": self.version}
+
+    def on_restore(self, state: dict) -> None:
+        """Install state captured by :meth:`on_snapshot` into this
+        (freshly built) LabMod, rebuilding volatile structures the same
+        way :meth:`state_repair` does after a crash."""
+        self.processed = state.get("processed", 0)
+        self.version = state.get("version", self.version)
+
     def est_processing_time(self, req: "LabRequest") -> int:
         """EstProcessingTime: expected CPU ns to process ``req``."""
         return 1000

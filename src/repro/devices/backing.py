@@ -8,11 +8,26 @@ integrity and crash consistency, not just for latency bookkeeping.
 
 from __future__ import annotations
 
+import hashlib
+from typing import Iterator
+
 from ..errors import DeviceError
 
-__all__ = ["BackingStore"]
+__all__ = ["BackingStore", "PAGE_SIZE"]
 
 _PAGE = 4096
+#: page granularity of every sparse store / snapshot layer
+PAGE_SIZE = _PAGE
+
+_ZERO_PAGE = bytes(_PAGE)
+
+
+def digest_page(data: bytes) -> str:
+    """Canonical content digest of one page (absent pages digest as zeros)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+_ZERO_DIGEST = digest_page(_ZERO_PAGE)
 
 
 class BackingStore:
@@ -71,18 +86,71 @@ class BackingStore:
         return bytes(out)
 
     def discard(self, offset: int, size: int) -> None:
-        """TRIM: zero a range, releasing fully covered pages."""
+        """TRIM: zero a range, releasing fully covered pages.
+
+        Partial-page edges only touch pages that are already resident —
+        zeroing a never-written range must not materialize pages (an
+        absent page already reads back as zeros).
+        """
         self._check_range(offset, size)
         end = offset + size
         first_full = -(-offset // _PAGE)  # ceil div
         last_full = end // _PAGE
         if first_full > last_full:
             # Range lies entirely within one page.
-            self.write(offset, b"\x00" * size)
+            self._zero_range(offset, size)
             return
         if offset % _PAGE:
-            self.write(offset, b"\x00" * (first_full * _PAGE - offset))
+            self._zero_range(offset, first_full * _PAGE - offset)
         for page_no in range(first_full, last_full):
             self._pages.pop(page_no, None)
         if end % _PAGE:
-            self.write(last_full * _PAGE, b"\x00" * (end - last_full * _PAGE))
+            self._zero_range(last_full * _PAGE, end - last_full * _PAGE)
+
+    def _zero_range(self, offset: int, size: int) -> None:
+        """Zero bytes in already-resident pages; absent pages stay absent."""
+        pos = 0
+        while pos < size:
+            page_no, in_page = divmod(offset + pos, _PAGE)
+            chunk = min(_PAGE - in_page, size - pos)
+            page = self._pages.get(page_no)
+            if page is not None:
+                page[in_page : in_page + chunk] = bytes(chunk)
+            pos += chunk
+
+    # -- snapshot support -------------------------------------------------
+    def page_numbers(self) -> Iterator[int]:
+        """Resident page numbers in ascending order."""
+        return iter(sorted(self._pages))
+
+    def page_bytes(self, page_no: int) -> bytes:
+        """Content of one page (zeros when not resident)."""
+        page = self._pages.get(page_no)
+        return bytes(page) if page is not None else _ZERO_PAGE
+
+    def page_digest(self, page_no: int) -> str:
+        """SHA-256 of one page's content; absent pages digest as zeros."""
+        page = self._pages.get(page_no)
+        return digest_page(bytes(page)) if page is not None else _ZERO_DIGEST
+
+    def page_digests(self) -> dict[int, str]:
+        """Digests of every *logically non-zero* resident page.
+
+        Resident-but-all-zero pages are skipped so two stores holding the
+        same logical bytes produce identical maps regardless of how pages
+        were materialized (write-then-zero vs. never written).
+        """
+        out: dict[int, str] = {}
+        for page_no in sorted(self._pages):
+            data = bytes(self._pages[page_no])
+            if data != _ZERO_PAGE:
+                out[page_no] = digest_page(data)
+        return out
+
+    def content_digest(self) -> str:
+        """One digest over all logical (non-zero) content, canonical across
+        different sparse materializations of the same bytes."""
+        h = hashlib.sha256()
+        for page_no, digest in sorted(self.page_digests().items()):
+            h.update(f"{page_no}:{digest}\n".encode())
+        return h.hexdigest()

@@ -122,3 +122,14 @@ class QuorumError(LabStorError):
     Raised by :class:`repro.cluster.ShardedKVS` once enough replicas have
     failed that the required quorum is unreachable; carries the last
     replica error as ``__cause__``-style context in the message."""
+
+
+class SnapshotError(LabStorError):
+    """Snapshot capture or restore failed (unpicklable module state, a
+    pause point in the past, or a program that finished before it)."""
+
+
+class ReplayDivergence(SnapshotError):
+    """Replay-to-point restore reached the snapshot timestamp with state
+    that does not match the capture — the program is not deterministic
+    (or global counters were not reset before the replay)."""

@@ -25,7 +25,12 @@ from ..system import LabStorSystem
 from ..units import msec, to_sec, usec
 from .report import format_table
 
-__all__ = ["run_live_upgrade", "sweep_live_upgrade", "format_live_upgrade"]
+__all__ = [
+    "run_live_upgrade",
+    "run_live_upgrade_under_load",
+    "sweep_live_upgrade",
+    "format_live_upgrade",
+]
 
 # per-message LabMod processing delay chosen so that the unscaled paper
 # workload (100k messages) lasts ~29s: 100k x ~290us
@@ -69,6 +74,50 @@ def run_live_upgrade(
         "upgrades_done": sys_.runtime.module_manager.upgrades_done,
         "messages": nmessages,
         "upgrade_type": upgrade_type,
+    }
+
+
+def run_live_upgrade_under_load(
+    *,
+    seed: int = 0,
+    duration_ns: int | None = None,
+    load: float = 1.0,
+    nupgrades: int = 1,
+    upgrade_type: str = "centralized",
+) -> dict:
+    """E2 rerun under open-loop tenant load, with a mid-upgrade snapshot.
+
+    The dummy-mod version above measures upgrade *cost* in isolation;
+    this one puts the claim under stress: the overload tenants of
+    :mod:`repro.traffic` keep firing while ``LabKvs`` hot-swaps to
+    ``LabKvsV2``, and a :class:`~repro.snap.ReplaySnapshot` is captured
+    *while the upgrade request is in flight*.  The run proves three
+    things at once — no in-flight op is lost across the state transfer
+    (the program's own asserts), the capture did not perturb the run
+    (full digests equal), and the restored continuation is seamless
+    (suffix digests equal).
+    """
+    from ..snap import restore_run, snapshot_run, straight_run
+    from ..snap.programs import UpgradeUnderLoadProgram
+
+    def program():
+        kw = {"load": load, "nupgrades": nupgrades, "upgrade_type": upgrade_type}
+        if duration_ns is not None:
+            kw["duration_ns"] = duration_ns
+        return UpgradeUnderLoadProgram(seed, **kw)
+
+    outcome, snap = snapshot_run(program())
+    base = straight_run(program(), arm_at_ns=snap.time_ns)
+    cont = restore_run(snap)
+    return {
+        **base.result,
+        "pause_ns": snap.time_ns,
+        "snapshot_bytes": snap.state.size_bytes(),
+        "capture_invisible": outcome.digest == base.digest,
+        "restore_seamless": (
+            cont.suffix_digest == base.suffix_digest
+            and cont.result == base.result
+        ),
     }
 
 

@@ -24,6 +24,17 @@ Determinism contract (the part that makes parallel sweeps trustworthy):
 ``fn`` must be a module-level callable ``fn(point, seed) -> result``
 (picklable, like anything crossing a process pool).
 
+**Warm starts** (``warm_start=``): sweeps whose points share an
+expensive warmup prefix (preload a KVS, fill a filesystem, reach steady
+state) can run the warmup *once*, capture a quiescent
+:class:`~repro.snap.SystemSnapshot`, and hand it to every point — ``fn``
+is then called ``fn(point, seed, warm_start)`` and restores the snapshot
+into its freshly built system instead of re-running the warmup.  The
+snapshot rides the pickle channel into each worker process like any
+other argument; determinism is unchanged (seeds still derive from
+``(base_seed, index)``), so a warm sweep must merge byte-identical to a
+cold serial one — ``tests/test_sweep.py`` pins that.
+
 CLI demo::
 
     python -m repro.experiments.sweep --processes 4
@@ -38,6 +49,18 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
 __all__ = ["point_seed", "run_sweep"]
+
+
+class _WarmCall:
+    """Picklable binding of the shared warm-start snapshot as ``fn``'s
+    third argument (a lambda would not cross the process pool)."""
+
+    def __init__(self, fn: Callable, snapshot: Any) -> None:
+        self.fn = fn
+        self.snapshot = snapshot
+
+    def __call__(self, point: Any, seed: int) -> Any:
+        return self.fn(point, seed, self.snapshot)
 
 
 def point_seed(base_seed: int, index: int) -> int:
@@ -58,6 +81,7 @@ def run_sweep(
     *,
     base_seed: int = 0,
     processes: int | None = None,
+    warm_start: Any | None = None,
 ) -> list[Any]:
     """Run ``fn(point, seed)`` for every point; results in point order.
 
@@ -65,15 +89,20 @@ def run_sweep(
     worker exception propagates to the caller (the remaining futures are
     cancelled by the pool's shutdown) rather than yielding a partial
     result list.
+
+    With ``warm_start`` (a picklable snapshot, typically a
+    :class:`~repro.snap.SystemSnapshot`), ``fn`` is called as
+    ``fn(point, seed, warm_start)`` in every worker instead.
     """
     pts = list(points)
     seeds = [point_seed(base_seed, i) for i in range(len(pts))]
+    call = fn if warm_start is None else _WarmCall(fn, warm_start)
     if processes is None:
         processes = min(len(pts), os.cpu_count() or 1)
     if processes <= 1 or len(pts) <= 1:
-        return [fn(p, s) for p, s in zip(pts, seeds)]
+        return [call(p, s) for p, s in zip(pts, seeds)]
     with ProcessPoolExecutor(max_workers=processes) as pool:
-        futures = [pool.submit(fn, p, s) for p, s in zip(pts, seeds)]
+        futures = [pool.submit(call, p, s) for p, s in zip(pts, seeds)]
         # iterating submission order IS configuration order; completion
         # order never surfaces
         return [f.result() for f in futures]

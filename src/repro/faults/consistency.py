@@ -67,6 +67,19 @@ class CrashConsistencyChecker:
         new, _old = self.pending.pop(path)
         self.acked[path] = new
 
+    # -- snapshot plumbing -------------------------------------------------
+    def export_state(self) -> dict:
+        """Picklable acked/pending ledger (rides along on snapshot-tree
+        nodes so every branch can be audited after a rewind)."""
+        return {"acked": dict(self.acked), "pending": dict(self.pending)}
+
+    @classmethod
+    def load_state(cls, state: dict) -> "CrashConsistencyChecker":
+        c = cls()
+        c.acked = dict(state["acked"])
+        c.pending = {p: tuple(v) for p, v in state["pending"].items()}
+        return c
+
     # -- post-remount verification ----------------------------------------
     def verify(self, gfs):
         """Process generator: read the recovered namespace through ``gfs``

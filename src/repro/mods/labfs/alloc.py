@@ -168,6 +168,38 @@ class PerWorkerBlockAllocator:
     def allocated_count(self) -> int:
         return len(self._allocated)
 
+    # -- snapshot support -------------------------------------------------
+    def export_state(self) -> dict:
+        """Plain-data capture (sorted containers: deterministic digests)."""
+        return {
+            "kind": "per_worker",
+            "total_blocks": self.total_blocks,
+            "base_block": self.base_block,
+            "steal_blocks": self.steal_blocks,
+            "steals": self.steals,
+            "allocated": sorted(self._allocated),
+            "shards": {
+                wid: {
+                    "ranges": [list(r) for r in shard.ranges],
+                    "freed": list(shard.freed),
+                }
+                for wid, shard in sorted(self._shards.items())
+            },
+        }
+
+    def install_state(self, state: dict) -> None:
+        self.total_blocks = state["total_blocks"]
+        self.base_block = state["base_block"]
+        self.steal_blocks = state["steal_blocks"]
+        self.steals = state["steals"]
+        self._allocated = set(state["allocated"])
+        self._shards = {}
+        for wid, data in state["shards"].items():
+            shard = _Shard()
+            shard.ranges = [list(r) for r in data["ranges"]]
+            shard.freed = list(data["freed"])
+            self._shards[int(wid)] = shard
+
     # -- uniform (generator) allocation API --------------------------------
     def alloc_block(self, worker_id: int | None, x):
         """Generator form of :meth:`alloc` — contention-free, zero waits."""
@@ -241,3 +273,20 @@ class CentralizedBlockAllocator:
 
     def remove_worker(self, worker_id: int) -> None:
         pass
+
+    # -- snapshot support -------------------------------------------------
+    def export_state(self) -> dict:
+        """Plain data only — the env/lock stay with the deployment."""
+        return {
+            "kind": "centralized",
+            "next": self._next,
+            "end": self._end,
+            "freed": list(self._freed),
+            "allocated": sorted(self._allocated),
+        }
+
+    def install_state(self, state: dict) -> None:
+        self._next = state["next"]
+        self._end = state["end"]
+        self._freed = list(state["freed"])
+        self._allocated = set(state["allocated"])

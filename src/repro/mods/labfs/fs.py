@@ -406,6 +406,27 @@ class LabFs(LabMod):
         self.by_path = {}
         self._mkdir_root()
 
+    def on_snapshot(self) -> dict:
+        """Durable state only: the metadata log and the allocator (the
+        inode hashmap is a pure function of the log, rebuilt on restore)."""
+        state = super().on_snapshot()
+        state["log"] = self.log.export_state()
+        state["allocator"] = self.allocator.export_state()
+        state["repairs"] = self.repairs
+        return state
+
+    def on_restore(self, state: dict) -> None:
+        super().on_restore(state)
+        self.log.install_state(state["log"])
+        self.allocator.install_state(state["allocator"])
+        self.repairs = state.get("repairs", 0)
+        self.state_repair()
+        self.repairs -= 1  # restore is a rebuild, not a crash repair
+        max_ino = max(self.inodes, default=0)
+        for rec in self.log.merged():
+            max_ino = max(max_ino, rec.ino)
+        self._ino = itertools.count(max_ino + 1)
+
     def state_repair(self) -> None:
         """Crash recovery: rebuild the inode hashmap (and the directory
         tree) from the log."""

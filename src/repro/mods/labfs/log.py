@@ -14,9 +14,23 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-__all__ = ["LogRecord", "MetadataLog", "replay"]
+__all__ = ["LogRecord", "MetadataLog", "replay", "ensure_seq_above"]
 
 _seq = itertools.count(1)
+
+
+def ensure_seq_above(max_seq: int) -> None:
+    """Advance the global sequence counter past ``max_seq``.
+
+    Called when a snapshot installs pre-assigned records into a fresh
+    process: new appends must sort after every installed record for the
+    merged total order to stay a replay prefix.  Consumes exactly one
+    tick so the effect is identical whether the counter is fresh or
+    already past ``max_seq`` (determinism across cold/warm paths).
+    """
+    global _seq
+    current = next(_seq)
+    _seq = itertools.count(max(current, max_seq + 1))
 
 # record kinds
 CREATE = "create"
@@ -57,6 +71,27 @@ class MetadataLog:
 
     def worker_ids(self) -> list[int]:
         return sorted(self._logs)
+
+    def export_state(self) -> dict:
+        """Plain-data snapshot of every per-worker log (picklable)."""
+        return {
+            "logs": {
+                wid: [(r.seq, r.kind, r.ino, r.a, r.b) for r in log]
+                for wid, log in sorted(self._logs.items())
+            }
+        }
+
+    def install_state(self, state: dict) -> None:
+        """Replace contents with an exported snapshot and bump the global
+        sequence counter past every installed record."""
+        self._logs = {
+            int(wid): [LogRecord(*rec) for rec in recs]
+            for wid, recs in state["logs"].items()
+        }
+        max_seq = max(
+            (r.seq for log in self._logs.values() for r in log), default=0
+        )
+        ensure_seq_above(max_seq)
 
     def compact(self, live_inos: set[int]) -> int:
         """Drop records for inodes that no longer exist; returns #dropped."""

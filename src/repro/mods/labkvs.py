@@ -18,7 +18,7 @@ from ..errors import FsError
 from .labfs import log as mdlog
 from .labfs.alloc import CentralizedBlockAllocator, PerWorkerBlockAllocator
 
-__all__ = ["LabKvs"]
+__all__ = ["LabKvs", "LabKvsV2"]
 
 BLOCK = 4096
 
@@ -144,6 +144,24 @@ class LabKvs(LabMod):
             self.log = old.log
             self._ino = old._ino
 
+    def on_snapshot(self) -> dict:
+        """Durable state: log + allocator (the key table replays from the
+        log, exactly as :meth:`state_repair` does after a crash)."""
+        state = super().on_snapshot()
+        state["log"] = self.log.export_state()
+        state["allocator"] = self.allocator.export_state()
+        return state
+
+    def on_restore(self, state: dict) -> None:
+        super().on_restore(state)
+        self.log.install_state(state["log"])
+        self.allocator.install_state(state["allocator"])
+        self.state_repair()
+        max_ino = 0
+        for rec in self.log.merged():
+            max_ino = max(max_ino, rec.ino)
+        self._ino = itertools.count(max_ino + 1)
+
     def state_repair(self) -> None:
         """Rebuild the key table from the metadata log after a crash."""
         replayed = mdlog.replay(self.log)
@@ -152,3 +170,15 @@ class LabKvs(LabMod):
             blocks = [rec["blocks"][i] for i in sorted(rec["blocks"])]
             table[rec["path"]] = _Value(ino=ino, size=rec["size"], blocks=blocks)
         self.table = table
+
+
+class LabKvsV2(LabKvs):
+    """The "next release" of LabKVS for live-upgrade experiments (E2).
+
+    Functionally identical — the point is the state transfer: hot-swap
+    moves the allocator, key table, log and ino counter over while
+    in-flight requests keep completing (``state_update`` in the base
+    class does the move; ``generation`` proves the new code is running).
+    """
+
+    generation = 2

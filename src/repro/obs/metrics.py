@@ -98,6 +98,24 @@ class MetricsRegistry:
             out["histograms"].append(entry)
         return out
 
+    # -- snapshot/restore --------------------------------------------------
+    def dump(self) -> dict:
+        """Lossless picklable capture (unlike :meth:`snapshot`, which
+        collapses histograms to quantiles)."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {k: h.dump() for k, h in self._histograms.items()},
+        }
+
+    def load(self, state: dict) -> None:
+        """Replace contents with a :meth:`dump` capture."""
+        self._counters = dict(state["counters"])
+        self._gauges = dict(state["gauges"])
+        self._histograms = {
+            k: Histogram.load(h) for k, h in state["histograms"].items()
+        }
+
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()

@@ -52,13 +52,26 @@ def _canon(v: Any) -> str:
 
 
 class TraceHasher:
-    """A tracer sink folding every event into one SHA-256 digest."""
+    """A tracer sink folding every event into one SHA-256 digest.
 
-    def __init__(self) -> None:
+    With ``arm_at_ns`` set, events before that virtual timestamp are
+    counted (``skipped``) but not hashed — the digest then covers only
+    the event-stream *suffix* from T on.  That is the seam replay-to-point
+    restore needs: a restored run hashes nothing during replay and must
+    match the armed digest of an unbroken run byte-for-byte
+    (:mod:`repro.snap.replay`).
+    """
+
+    def __init__(self, arm_at_ns: int | None = None) -> None:
         self._h = hashlib.sha256()
         self.count = 0
+        self.skipped = 0
+        self.arm_at_ns = arm_at_ns
 
     def __call__(self, ev: TraceEvent) -> None:
+        if self.arm_at_ns is not None and ev.time_ns < self.arm_at_ns:
+            self.skipped += 1
+            return
         parts = [str(ev.time_ns), ev.category]
         parts += [f"{k}={_canon(ev.fields[k])}" for k in sorted(ev.fields)]
         self._h.update("|".join(parts).encode())
@@ -78,8 +91,8 @@ class AuditRun:
     sanitizer's teardown report.
     """
 
-    def __init__(self, strict: bool = True) -> None:
-        self.hasher = TraceHasher()
+    def __init__(self, strict: bool = True, arm_at_ns: int | None = None) -> None:
+        self.hasher = TraceHasher(arm_at_ns=arm_at_ns)
         self.sanitizer = Sanitizer(strict=strict)
         self.env: Environment | None = None
 
@@ -225,55 +238,13 @@ def _scenario_faults(audit: AuditRun) -> dict[str, Any]:
     """Chaos under audit: probabilistic media errors + queue rejections +
     a worker crash + a power cut with auto-restart, driven against a
     retrying GenericFS.  Every injection draws from the seeded "faults"
-    RNG stream, so the whole storm must replay digest-identical."""
-    from ..faults import CrashConsistencyChecker, FaultPlan, FaultSpec, RetryPolicy
-    from ..mods.generic_fs import GenericFS
-    from ..system import LabStorSystem
-    from ..units import msec, usec
+    RNG stream, so the whole storm must replay digest-identical.
+    (Delegates to :class:`repro.snap.programs.FaultsProgram`, which the
+    replay-to-point property tests also drive.)"""
+    from ..snap.programs import FaultsProgram
+    from ..snap.replay import drive_program
 
-    env = Environment()
-    audit.attach(env)
-    plan = FaultPlan.of(
-        FaultSpec(kind="media_error", device="nvme", op="write", probability=0.08, count=6),
-        FaultSpec(kind="latency", device="nvme", probability=0.1, count=8,
-                  extra_ns=int(usec(80))),
-        FaultSpec(kind="qp_reject", probability=0.05, count=3),
-        FaultSpec(kind="worker_crash", at=int(msec(0.9))),
-        FaultSpec(kind="torn_write", at=int(msec(2.0)), device="nvme", op="write"),
-        FaultSpec(kind="power_cut", at=int(msec(2.0)), restart_after=int(msec(1.0))),
-    )
-    system = LabStorSystem(env=env, devices=("nvme",), fault_plan=plan)
-    system.mount_fs_stack("fs::/chaos", variant="min")
-    retry = RetryPolicy(max_attempts=6, timeout_ns=int(msec(50)))
-    gfs = GenericFS(system.client(), retry=retry)
-    checker = CrashConsistencyChecker()
-
-    def go():
-        acked = 0
-        for i in range(56):
-            path = f"fs::/chaos/f{i}"
-            data = bytes([i % 251]) * 4096
-            checker.begin(path, data)
-            try:
-                yield from gfs.write_file(path, data)
-            except Exception:  # noqa: BLE001 - gave up after retries: move on
-                continue
-            checker.ack(path)
-            acked += 1
-        return acked
-
-    acked = system.run(system.process(go()))
-    report = system.run(system.process(checker.verify(gfs)))
-    assert report["acked_ok"] == acked, "acknowledged write lost after recovery"
-    engine = system.faults
-    assert engine is not None and engine.total_injected > 0, "no faults fired"
-    return {
-        "acked": acked,
-        "injected": dict(sorted(engine.injected.items())),
-        "retries": retry.retries,
-        "crashes": system.runtime.crashes,
-        "consistency": report,
-    }
+    return drive_program(FaultsProgram(), audit)
 
 
 def _scenario_batching(audit: AuditRun) -> dict[str, Any]:
@@ -281,52 +252,10 @@ def _scenario_batching(audit: AuditRun) -> dict[str, Any]:
     Client.submit_batch through worker batch-pop, BatchSchedMod merging and
     device-level coalescing, so every batch-conservation invariant
     (san.qp batch counters + san.batch settle records) gets exercised."""
-    from ..core import RuntimeConfig
-    from ..devices.profiles import DeviceSpec
-    from ..mods.generic_fs import GenericFS
-    from ..system import LabStorSystem
+    from ..snap.programs import BatchingProgram
+    from ..snap.replay import drive_program
 
-    env = Environment()
-    audit.attach(env)
-    system = LabStorSystem(
-        env=env,
-        devices=(DeviceSpec("nvme", coalesce_max=8, coalesce_window_ns=2000),),
-        config=RuntimeConfig(nworkers=1, worker_batch_max=8),
-    )
-    (system.stack("fs::/batch")
-     .fs(variant="all")
-     .sched("BatchSchedMod", window_ns=10_000, batch_max=8)
-     .mount())
-    gfs = GenericFS(system.client())
-
-    def go():
-        fd = yield from gfs.open("fs::/batch/vec.dat", create=True)
-        total = 0
-        for wave in range(4):
-            bufs = [bytes([wave * 16 + i]) * 4096 for i in range(8)]
-            counts = yield from gfs.writev(fd, bufs, offset=wave * 8 * 4096)
-            total += sum(counts)
-        yield from gfs.fsync(fd)
-        chunks = yield from gfs.readv(fd, [4096] * 32, offset=0)
-        yield from gfs.close(fd)
-        return total, chunks
-
-    total, chunks = system.run(system.process(go()))
-    assert total == 32 * 4096, f"writev short ({total} bytes)"
-    for wave in range(4):
-        for i in range(8):
-            want = bytes([wave * 16 + i]) * 4096
-            assert chunks[wave * 8 + i] == want, f"readv mismatch at chunk {wave * 8 + i}"
-    sched = system.runtime.namespace.resolve("fs::/batch")[0].mods["s1.sched"]
-    dev = system.devices["nvme"]
-    assert sched.merged_ops > 0, "BatchSchedMod never merged"
-    return {
-        "bytes": total,
-        "merged_groups": sched.merged_groups,
-        "merged_ops": sched.merged_ops,
-        "coalesced_groups": dev.coalesced_groups,
-        "coalesced_ops": dev.coalesced_ops,
-    }
+    return drive_program(BatchingProgram(), audit)
 
 
 def _scenario_openloop(audit: AuditRun) -> dict[str, Any]:
@@ -368,62 +297,10 @@ def _scenario_cluster(audit: AuditRun) -> dict[str, Any]:
     node mid-run, then failover reads off the survivors.  NIC queue
     pairs, fabric links, replica fan-out, crash ride-out and quorum
     accounting all land in one digest."""
-    from ..cluster import cluster as cluster_builder
-    from ..core import RuntimeConfig
-    from ..units import msec, usec
+    from ..snap.programs import ClusterProgram
+    from ..snap.replay import drive_program
 
-    env = Environment()
-    audit.attach(env)
-    # short restart window: crash detection (restart_wait * 10) must fit
-    # inside the scenario, not the default 1s
-    cfg = RuntimeConfig(nworkers=1, restart_wait_ns=int(usec(50)))
-    cl = (
-        cluster_builder(env=env, seed=11)
-        .node("a", config=cfg, failure_domain="rack-1")
-        .node("b", config=cfg, failure_domain="rack-2")
-        .node("c", config=cfg, failure_domain="rack-3")
-        .build()
-    )
-    kvs = cl.shard_kvs("kvs::/det", replicas=2, timeout_ns=int(msec(1)))
-    # node b dies at 3ms virtual and never restarts
-    cl.install_faults(f"power_cut:at={int(msec(3))}", node="b")
-    nkeys = 18
-
-    def go():
-        for i in range(nkeys):
-            yield from kvs.put(f"det{i}", bytes([i % 251]) * 96)
-        # ride past the power cut, then read through the outage
-        if env.now < msec(3):
-            yield env.timeout(int(msec(3)) - env.now + int(usec(100)))
-        hits = 0
-        for i in range(nkeys):
-            if (yield from kvs.get(f"det{i}")) == bytes([i % 251]) * 96:
-                hits += 1
-        # let the straggler replica branches (timeouts, crash ride-outs)
-        # resolve so the failover count is settled, not racing teardown
-        yield env.timeout(int(msec(2)))
-        return hits
-
-    hits = cl.run(cl.process(go()))
-    assert hits == nkeys, f"failover reads lost keys ({hits}/{nkeys})"
-    assert not cl.nodes["b"].online, "power cut never fired"
-    assert kvs.failovers > 0, "no replica branch ever failed over"
-    remote = sum(r.remote_calls for r in cl._routes.values())
-    assert remote > 0, "no call ever crossed the fabric"
-    stats = cl.stats()
-    cl.shutdown()
-    for route in cl._routes.values():
-        qp = route.qp
-        assert qp.submitted_total == qp.completed_total, (
-            f"{qp.owner_tag}: NIC conservation broken after shutdown"
-        )
-    return {
-        "hits": hits,
-        "remote_calls": remote,
-        "failovers": kvs.failovers,
-        "nacks": sum(r.nacks for r in cl._routes.values()),
-        "fabric": stats["fabric"],
-    }
+    return drive_program(ClusterProgram(), audit)
 
 
 SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {

@@ -177,6 +177,22 @@ class Histogram:
         lo = self.min_ns * (2**idx)
         return min(lo, self.max_ns), min(lo * 2, self.max_ns)
 
+    def dump(self) -> dict:
+        """Plain-data capture for snapshot/restore."""
+        return {
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "buckets": [int(c) for c in self.buckets],
+            "total": self.total,
+        }
+
+    @classmethod
+    def load(cls, state: dict) -> "Histogram":
+        h = cls(min_ns=state["min_ns"], max_ns=state["max_ns"])
+        h.buckets = np.array(state["buckets"], dtype=np.int64)
+        h.total = state["total"]
+        return h
+
     def quantile(self, q: float) -> float:
         """Approximate quantile (bucket upper bound)."""
         if self.total == 0:

@@ -1,0 +1,60 @@
+"""Layered copy-on-write snapshot/restore of the whole simulated system.
+
+Two snapshot flavors, one substrate:
+
+- :class:`~repro.snap.state.SystemSnapshot` — a *quiescent* capture of
+  durable state (device pages as COW layer references, per-LabMod state
+  via ``on_snapshot()``, RNG stream positions, metrics counters).  It
+  restores into a **fresh** system and powers warm-started sweeps.
+- :class:`~repro.snap.replay.ReplaySnapshot` — a *mid-flight* capture at
+  a virtual timestamp T.  Generators cannot be pickled, so restore
+  replays the deterministic program from t=0 to T with trace hashing
+  suppressed, verifies state digests match the capture, then continues
+  on the exact original timeline (``repro.sim.check`` digests of the
+  suffix are byte-identical to an unbroken run).
+
+:class:`~repro.snap.tree.SnapshotTree` composes replay snapshots into a
+time-travel debugger: snapshot, inject a fault, diff dirtied pages and
+module state, rewind, try a different fault.
+"""
+
+from .layers import SnapshotLayer, SnapshotStack
+from .programs import (
+    BatchingProgram,
+    ClusterProgram,
+    FaultsProgram,
+    Program,
+    UpgradeUnderLoadProgram,
+    program_named,
+)
+from .replay import (
+    ReplaySnapshot,
+    RestoredRun,
+    RunOutcome,
+    restore_run,
+    snapshot_run,
+    straight_run,
+)
+from .state import SystemSnapshot, quiesce
+from .tree import SnapshotNode, SnapshotTree
+
+__all__ = [
+    "SnapshotLayer",
+    "SnapshotStack",
+    "SystemSnapshot",
+    "quiesce",
+    "Program",
+    "FaultsProgram",
+    "BatchingProgram",
+    "ClusterProgram",
+    "UpgradeUnderLoadProgram",
+    "program_named",
+    "ReplaySnapshot",
+    "RestoredRun",
+    "RunOutcome",
+    "straight_run",
+    "snapshot_run",
+    "restore_run",
+    "SnapshotNode",
+    "SnapshotTree",
+]

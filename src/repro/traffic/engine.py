@@ -212,22 +212,31 @@ class OpenLoopEngine:
             reg.inc("tenant_slo_violations_total", tenant=name)
 
     # ------------------------------------------------------------------
-    def run(self) -> dict[str, Any]:
-        """Run every tenant's arrival window, drain in-flight ops, and
-        return :meth:`summary`.  ``elapsed_ns`` includes the drain — under
-        overload the backlog takes real (virtual) time to clear, and
-        goodput is charged for it."""
+    def drive(self):
+        """Process generator form of :meth:`run`: spawn every tenant's
+        arrival window, wait it out, drain in-flight ops, and return
+        :meth:`summary`.  Being a single process event, this composes —
+        snapshot programs pause the clock mid-drive and other work can
+        run alongside on the same environment."""
         if not self._tenants:
             raise ValueError("no tenants registered; call add_tenant() first")
         env = self.env
         start = env.now
         procs = [env.process(self._arrivals(t)) for t in self._tenants]
-        env.run(env.all_of(procs))
+        yield env.all_of(procs)
         if self._ops:
-            env.run(env.all_of(self._ops))
+            yield env.all_of(self._ops)
         self._ops.clear()
         self.elapsed_ns = env.now - start
         return self.summary()
+
+    def run(self) -> dict[str, Any]:
+        """Run every tenant's arrival window, drain in-flight ops, and
+        return :meth:`summary`.  ``elapsed_ns`` includes the drain — under
+        overload the backlog takes real (virtual) time to clear, and
+        goodput is charged for it."""
+        env = self.env
+        return env.run(env.process(self.drive(), name="traffic.drive"))
 
     # ------------------------------------------------------------------
     def summary(self) -> dict[str, Any]:

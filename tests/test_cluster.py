@@ -15,7 +15,7 @@ from repro.cluster import (
     cluster,
 )
 from repro.core import RuntimeConfig
-from repro.errors import FabricError, LabStorError, QuorumError
+from repro.errors import FabricError, FsError, LabStorError, QuorumError
 from repro.sim import Environment
 from repro.units import msec, usec
 
@@ -360,6 +360,95 @@ class TestShardedKVS:
         # over rather than dodging the dead node by luck
         assert any("n1" in kvs.ring.preference(k, 2) for k in blob)
         cl.shutdown()
+
+    def _outage_rejoin(self, *, anti_entropy):
+        """Shared driver: n1 power-cut + restart, keys overwritten (and
+        one removed) during the outage, then n0 dies so only n1 can
+        answer for {n0, n1}-placed keys.  Returns what those reads saw."""
+        cl = self._cluster(3)
+        kvs = cl.shard_kvs("kvs::/ae", replicas=2, quorum=1,
+                           timeout_ns=int(msec(1)),
+                           anti_entropy=anti_entropy)
+        cut_at = int(msec(3))
+        nkeys = 24
+        old = {f"k{i}": bytes([i + 1]) * 48 for i in range(nkeys)}
+        new = {k: v[::-1] + b"!" for k, v in old.items()}
+        # the keys only n1 can serve once n0 is gone
+        pair = [k for k in old
+                if set(kvs.ring.preference(k, 2)) == {"n0", "n1"}]
+        assert pair, "placement left no {n0, n1} keys to test with"
+        removed = pair[-1]
+        # a crashed node's SHM queues survive (Section III-C3), so a
+        # power cut alone would replay outage-era submissions at restart;
+        # qp_reject models those submissions dying at the dead node's
+        # NIC — the budget covers exactly the outage ops that replicate
+        # on n1, leaving resync repairs unimpeded
+        n1_ops = sum(1 for k in old if "n1" in kvs.ring.preference(k, 2))
+        cl.install_faults(
+            f"power_cut:at={cut_at},restart_after={int(msec(1))};"
+            f"qp_reject:probability=1.0,at={cut_at},count={n1_ops}",
+            node="n1")
+        cl.install_faults(f"power_cut:at={int(msec(16))}", node="n0")
+
+        def go():
+            for k, v in old.items():
+                yield from kvs.put(k, v)
+            assert cl.env.now < cut_at
+            yield cl.env.timeout(cut_at - cl.env.now + int(usec(100)))
+            assert not cl.nodes["n1"].online
+            for k, v in new.items():  # acked by survivors only
+                if k == removed:
+                    yield from kvs.remove(k)
+                else:
+                    yield from kvs.put(k, v)
+            yield cl.nodes["n1"].runtime.online_event()
+            # give the resync daemon room to finish before n0 dies
+            yield cl.env.timeout(int(msec(5)))
+            if anti_entropy:
+                assert kvs.resyncs == 1 and not kvs._stale
+            yield cl.env.timeout(int(msec(16)) - cl.env.now + int(usec(100)))
+            assert not cl.nodes["n0"].online
+            out = {}
+            for k in pair:
+                if k == removed:
+                    continue
+                out[k] = yield from kvs.get(k)
+            try:
+                yield from kvs.get(removed)
+            except FsError:
+                out[removed] = None
+            else:
+                out[removed] = "present"
+            return out
+
+        out = _run(cl, go())
+        cl.shutdown()
+        return kvs, pair, removed, old, new, out
+
+    def test_anti_entropy_resyncs_rejoined_replica_from_quorum(self):
+        """S2: a recovered replica is read-quarantined until a resync
+        daemon write-repairs outage-era updates (and replays the
+        deletion) from the healthy quorum — reads served by the rejoined
+        node return the new values."""
+        kvs, pair, removed, _old, new, out = self._outage_rejoin(
+            anti_entropy=True)
+        for k in pair:
+            if k == removed:
+                assert out[k] is None, "deletion was not replayed on n1"
+            else:
+                assert out[k] == new[k], f"{k} served stale data after rejoin"
+        assert kvs.repaired >= len(pair) - 1
+
+    def test_without_anti_entropy_rejoined_replica_serves_stale_data(self):
+        """The contrast run: same outage, no resync — the rejoined
+        replica answers from its own crash-recovered log, i.e. the
+        pre-outage values (why S2 exists)."""
+        kvs, pair, removed, old, new, out = self._outage_rejoin(
+            anti_entropy=False)
+        assert kvs.resyncs == 0
+        stale = [k for k in pair if out[k] == old[k]]
+        assert stale, "expected at least one stale read off the rejoined node"
+        assert out[removed] == "present", "removal should be missing on n1"
 
     def test_write_quorum_unreachable_raises_quorum_error(self):
         cl = self._cluster(2)

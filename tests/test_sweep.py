@@ -76,3 +76,109 @@ def test_base_seed_changes_results():
     a = run_sweep(_toy_point, POINTS, base_seed=0, processes=1)
     b = run_sweep(_toy_point, POINTS, base_seed=1, processes=1)
     assert [r["acc"] for r in a] != [r["acc"] for r in b]
+
+
+# ----------------------------------------------------------------------
+# warm starts (repro.snap snapshot shared across the pool)
+# ----------------------------------------------------------------------
+WARM_KEYS = 48
+
+
+def _warm_system():
+    """The sweep's fixed topology: one KVS stack + a GenericKVS surface."""
+    from repro.mods.generic_kvs import GenericKVS
+    from repro.sim.check import reset_global_counters
+    from repro.system import LabStorSystem
+
+    reset_global_counters()
+    sys_ = LabStorSystem(devices=("nvme",))
+    sys_.mount_kvs_stack("kvs::/warm", variant="min", uuid_prefix="warm")
+    kvs = GenericKVS(sys_.client(), "kvs::/warm")
+    return sys_, kvs
+
+
+def _warmup(sys_, kvs):
+    """The expensive shared prefix every point would otherwise repeat."""
+    def fill():
+        for i in range(WARM_KEYS):
+            yield from kvs.put(f"w{i}", bytes([(i * 7 + 1) % 251]) * 2048)
+
+    sys_.run(sys_.process(fill()))
+
+
+def _measure(sys_, kvs, point, seed):
+    """The per-point phase; results use only deltas and digests so they
+    cannot smell whether the warmup was run or restored."""
+    import hashlib
+
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    start = sys_.env.now
+
+    def work():
+        acc = hashlib.sha256()
+        for _ in range(point["nops"]):
+            key = f"w{int(rng.integers(0, WARM_KEYS))}"
+            value = yield from kvs.get(key)
+            acc.update(value)
+        return acc.hexdigest()
+
+    digest = sys_.run(sys_.process(work()))
+    return {"nops": point["nops"], "digest": digest,
+            "elapsed_ns": sys_.env.now - start, "seed": seed}
+
+
+def make_warm_snapshot():
+    """Run the warmup once and capture its quiescent state."""
+    from repro.snap import SystemSnapshot
+
+    sys_, kvs = _warm_system()
+    _warmup(sys_, kvs)
+    snap = SystemSnapshot.capture(sys_, tag="sweep-warm", drain=True)
+    sys_.shutdown()
+    return snap
+
+
+def _cold_point(point, seed):
+    sys_, kvs = _warm_system()
+    _warmup(sys_, kvs)
+    res = _measure(sys_, kvs, point, seed)
+    res["events"] = sys_.env._eid
+    sys_.shutdown()
+    return res
+
+
+def _warm_point(point, seed, snapshot):
+    sys_, kvs = _warm_system()
+    snapshot.restore_into(sys_)
+    res = _measure(sys_, kvs, point, seed)
+    res["events"] = sys_.env._eid
+    sys_.shutdown()
+    return res
+
+
+WARM_POINTS = [{"nops": n} for n in (6, 14, 9, 21)]
+
+
+def test_warm_sweep_merges_byte_identical_to_cold_serial():
+    """S5 acceptance: restoring the shared snapshot in parallel workers
+    reproduces the cold serial sweep exactly — minus the warmup work."""
+    snap = make_warm_snapshot()
+    cold = run_sweep(_cold_point, WARM_POINTS, base_seed=5, processes=1)
+    warm = run_sweep(_warm_point, WARM_POINTS, base_seed=5, processes=2,
+                     warm_start=snap)
+    # every point skipped the warmup's simulation events...
+    for c, w in zip(cold, warm):
+        assert w.pop("events") < c.pop("events")
+    # ...yet measured byte-identical results
+    assert warm == cold
+
+
+def test_warm_start_serial_path_also_binds_snapshot():
+    snap = make_warm_snapshot()
+    one = run_sweep(_warm_point, WARM_POINTS[:1], base_seed=5, processes=1,
+                    warm_start=snap)
+    cold = run_sweep(_cold_point, WARM_POINTS[:1], base_seed=5, processes=1)
+    one[0].pop("events"), cold[0].pop("events")
+    assert one == cold
