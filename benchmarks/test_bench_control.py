@@ -1,0 +1,49 @@
+"""E15 — closed-loop control: controller vs static-best vs oracle."""
+
+from repro.experiments import control_plane
+
+from conftest import write_bench_artifact
+
+
+def test_bench_control(benchmark):
+    holder = {}
+
+    def once():
+        holder["result"] = control_plane.sweep_control_plane(processes=1)
+        return holder["result"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = holder["result"]
+    table = control_plane.format_control_plane(result)
+    benchmark.extra_info["figure"] = "E15 — shifting mix: controller vs static"
+    benchmark.extra_info["table"] = table
+    path = write_bench_artifact(
+        "control", result["rows"],
+        figure="E15 — shifting mix: controller vs static",
+        controller_total=result["controller_total"],
+        static_best_total=result["static_best_total"],
+        static_best_limit=result["static_best_limit"],
+        oracle_total=result["oracle_total"],
+        beats_static=result["beats_static"],
+        vs_oracle=result["vs_oracle"],
+        seed=result["seed"],
+    )
+    benchmark.extra_info["artifact"] = str(path)
+    print("\n" + table)
+
+    # the control plane must earn its keep: strictly better than the best
+    # static admission limit, and within 10% of the per-phase oracle
+    assert result["beats_static"], (
+        f"controller {result['controller_total']} <= "
+        f"static-best {result['static_best_total']} "
+        f"(limit {result['static_best_limit']})"
+    )
+    assert result["vs_oracle"] >= 0.9, (
+        f"controller at {result['vs_oracle']:.0%} of oracle "
+        f"{result['oracle_total']}"
+    )
+    # the controller must actually have steered (not won by luck of the
+    # starting limit): actions were taken and the final limits differ
+    # across phases' needs
+    controller_row = next(r for r in result["rows"] if r["mode"] == "controller")
+    assert controller_row["ctl_actions"] > 0, "controller never actuated"

@@ -170,7 +170,13 @@ class LabStorClient:
             # abandoned request: forget it so a late completion is dropped
             self._pending.pop(req.req_id, None)
             if isinstance(exc, TimeoutError) and not ev.triggered:
-                ev.fail(exc)  # defused by the stale wait condition
+                # fail the pending event so any other waiter sees the
+                # timeout, and defuse it explicitly: when the deadline
+                # expires during a crash ride-out, no wait condition was
+                # ever armed on ev, so there is no stale subscriber left
+                # to absorb the failure
+                ev.fail(exc)
+                ev.defuse()
             if sc is not None:
                 sc.close(env._now)
                 t.emit(env._now, "obs.span", span=sc)

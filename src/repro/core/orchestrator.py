@@ -144,6 +144,7 @@ class WorkOrchestrator:
         interval_ns: int = msec(1.0),
         tracer=None,
         worker_kw: dict | None = None,
+        auto_respawn: bool = True,
     ) -> None:
         self.env = env
         self.cpu = cpu
@@ -163,6 +164,11 @@ class WorkOrchestrator:
         self._retired_busy_ns = 0
         self.rebalances = 0
         self.paused = False  # set while the Runtime is crashed
+        #: replace crashed workers immediately (the built-in reflex).  With
+        #: auto_respawn off, a crash only records a dead worker — an
+        #: external healer (the repro.ctl control daemon) must respawn.
+        self.auto_respawn = auto_respawn
+        self.dead_workers = 0  # crashes not yet compensated by a respawn
         for _ in range(nworkers):
             self.spawn_worker()
         self._proc = env.process(self._epoch_loop(), name="orchestrator", daemon=True)
@@ -206,7 +212,9 @@ class WorkOrchestrator:
         """Kill ``worker`` immediately (fault injection): its in-flight
         requests complete with errors, its queues move to a freshly spawned
         replacement.  Returns the replacement (None while the Runtime is
-        down — a crashed system respawns its pool on restart instead)."""
+        down — a crashed system respawns its pool on restart instead — or
+        when ``auto_respawn`` is off, where the dead worker waits for an
+        external healer)."""
         self.workers.remove(worker)
         busy = worker.core.busy_time()
         prev = self._prev_busy.pop(worker.worker_id, busy)
@@ -217,9 +225,26 @@ class WorkOrchestrator:
         self.cpu.unpin(worker.core_id)
         if self.paused:
             return None
+        if not self.auto_respawn:
+            self.dead_workers += 1
+            if self.workers:
+                # survivors adopt the victim's queues; with an empty pool
+                # the queues wait for the healer's spawn_worker()
+                self.rebalance()
+            return None
         replacement = self.spawn_worker()
         self.rebalance()
         return replacement
+
+    def heal_worker(self) -> Worker:
+        """Spawn a replacement for a crashed worker and hand it queues
+        immediately — the control daemon's liveness actuator when
+        ``auto_respawn`` is off."""
+        w = self.spawn_worker()
+        if self.dead_workers:
+            self.dead_workers -= 1
+        self.rebalance()
+        return w
 
     # -- queue registration -------------------------------------------------
     def register_queue(self, qp: QueuePair) -> None:

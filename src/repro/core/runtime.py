@@ -44,6 +44,7 @@ class RuntimeConfig:
     worker_idle_sleep_ns: int = 50_000          # busy-wait window before sleeping
     worker_poll_quantum_ns: int = 2_000
     worker_batch_max: int = 1                   # SQEs a worker drains per wakeup
+    worker_auto_respawn: bool = True            # replace crashed workers inline
     restart_wait_ns: int = msec(100.0)          # client Wait crash patience
     trace: bool = False
 
@@ -98,6 +99,7 @@ class LabStorRuntime:
             max_workers=self.config.max_workers,
             interval_ns=self.config.orchestrator_interval_ns,
             tracer=self.tracer,
+            auto_respawn=self.config.worker_auto_respawn,
             worker_kw={
                 "idle_sleep_ns": self.config.worker_idle_sleep_ns,
                 "poll_quantum_ns": self.config.worker_poll_quantum_ns,
@@ -231,6 +233,7 @@ class LabStorRuntime:
             raise LabStorError("runtime is not offline")
         yield self.env.timeout(msec(5.0))  # exec + re-attach shared memory
         self.orchestrator.paused = False
+        self.orchestrator.dead_workers = 0  # the fresh pool covers old crashes
         for _ in range(self.config.nworkers):
             self.orchestrator.spawn_worker()
         for uuid in self.registry.uuids():

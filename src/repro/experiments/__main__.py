@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments --list
 
 Figure names: anatomy, table1, fig5a, fig5b, fig6, fig7, fig8, fig9a,
-fig9b, fig9c, ablations, faults, batching, openloop, cluster.
+fig9b, fig9c, ablations, faults, batching, openloop, cluster, control.
 """
 
 from __future__ import annotations
@@ -19,6 +19,7 @@ from . import (
     anatomy,
     batching,
     cluster_scaling,
+    control_plane,
     fault_recovery,
     filebench_eval,
     labios_eval,
@@ -84,6 +85,8 @@ FIGURES = {
         openloop.sweep_openloop())),
     "cluster": lambda: print(cluster_scaling.format_cluster_scaling(
         cluster_scaling.sweep_cluster_scaling())),
+    "control": lambda: print(control_plane.format_control_plane(
+        control_plane.sweep_control_plane())),
 }
 
 

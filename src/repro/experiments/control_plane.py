@@ -1,0 +1,196 @@
+"""E15 — closed-loop control: controller vs static-best vs oracle.
+
+The case for a control plane in one table: a two-phase *shifting* mix
+where no single static admission limit is right for both phases.
+
+- **Phase A** — a latency-critical frontend (YCSB-C, 150us deadline)
+  offered *above* capacity.  Any op that queues blows its deadline, so
+  the right admission limit is *small*: serve a short pipeline fast,
+  shed the rest at the door.
+- **Phase B** — a bursty analytics tenant (YCSB-A, 1ms deadline) whose
+  *mean* load fits capacity.  Rejections are now pure goodput loss —
+  the right limit is *large*: buffer the burst and let the loose
+  deadline absorb the queueing.
+
+A static limit must pick one side.  The
+:class:`~repro.ctl.controllers.AdmissionController` (AIMD on the
+window SLO-burn/rejection rates, randomness from the seeded ``"ctl"``
+stream) re-walks the limit as the mix shifts and beats every static
+point.  The **oracle** is synthesized from the static sweep — the best
+per-phase goodput any fixed limit achieved, summed — an upper bound no
+causal controller can exceed.
+
+Every mode faces the *identical* seeded workload (same arrivals, same
+keys), so the comparison isolates the control policy; points carry
+their seed explicitly rather than taking :func:`run_sweep`'s per-index
+derived seeds.
+"""
+
+from __future__ import annotations
+
+from ..units import msec, usec
+from .report import format_table
+from .sweep import run_sweep
+
+__all__ = ["STATIC_LIMITS", "PHASES", "run_control_point",
+           "sweep_control_plane", "format_control_plane"]
+
+#: static admission limits swept for the baseline and the oracle
+STATIC_LIMITS = (2, 4, 8, 16, 32, 64, 128)
+#: the controller's starting limit (also a static point, so "just start
+#: where the controller starts" is represented in the baseline)
+START_LIMIT = 16
+
+MOUNT = "kvs::/e15"
+
+#: the shifting mix: each phase is one tenant driven for its window
+PHASES = (
+    {
+        "name": "frontend", "mix": "C", "theta": 0.99,
+        "deadline_ns": usec(150), "offered_ops_s": 90_000.0,
+        "schedule": "poisson", "schedule_kw": {},
+        "duration_ns": msec(5),
+    },
+    {
+        "name": "analytics", "mix": "A", "theta": 0.6,
+        "deadline_ns": msec(1), "offered_ops_s": 30_000.0,
+        "schedule": "bursty",
+        "schedule_kw": {"burst_factor": 6.0, "duty": 0.25,
+                        "mean_burst_ns": msec(0.5)},
+        "duration_ns": msec(5),
+    },
+)
+
+
+def run_control_point(point: dict, _sweep_seed: int) -> dict:
+    """One mode ("static" at a limit, or "controller") over both phases.
+
+    Module-level so it crosses a process pool.  The seed comes from the
+    point itself: every mode must replay the same workload.
+    """
+    from ..core.runtime import RuntimeConfig
+    from ..ctl.actuators import Actuators
+    from ..ctl.controllers import AdmissionController
+    from ..ctl.daemon import ControlDaemon
+    from ..mods.generic_kvs import GenericKVS
+    from ..system import LabStorSystem
+    from ..traffic.engine import OpenLoopEngine, QueueDepthAdmission
+    from ..traffic.tenants import TenantSLO, TenantSpec
+    from ..traffic.ycsb import YcsbWorkload
+
+    seed = point.get("seed", 0)
+    mode = point["mode"]
+    limit = point.get("limit", START_LIMIT)
+    system = LabStorSystem(
+        seed=seed, devices=("nvme",), telemetry=True,
+        config=RuntimeConfig(nworkers=2),
+    )
+    system.mount_kvs_stack(MOUNT, variant="all")
+    kvs = GenericKVS(system.client(), MOUNT)
+    policy = QueueDepthAdmission(limit)
+    daemon = None
+    if mode == "controller":
+        actuators = Actuators(system, cooldown_ticks=2, max_actions_per_tick=2)
+        actuators.bind_admission(policy)
+        daemon = ControlDaemon(
+            system, interval_ns=usec(250),
+            controllers=[AdmissionController(min_limit=2, max_limit=128)],
+            actuators=actuators,
+        )
+    row: dict = {"mode": mode, "limit": limit if mode == "static" else None,
+                 "seed": seed, "phases": {}}
+    preloaded = False
+    for phase in PHASES:
+        wl = YcsbWorkload(kvs, mix=phase["mix"], nkeys=128,
+                          theta=phase["theta"], value_size=256)
+        if not preloaded:  # phases share the keyspace: one load phase
+            system.run(system.process(wl.preload()))
+            preloaded = True
+        spec = TenantSpec(
+            name=phase["name"], users=1,
+            ops_per_user_per_sec=phase["offered_ops_s"],
+            slo=TenantSLO(deadline_ns=phase["deadline_ns"]),
+            schedule=phase["schedule"], schedule_kw=dict(phase["schedule_kw"]),
+        )
+        engine = OpenLoopEngine(system, duration_ns=phase["duration_ns"],
+                                policy=policy)
+        engine.add_tenant(spec, wl.make_op)
+        s = engine.run()
+        t = s["tenants"][phase["name"]]
+        row["phases"][phase["name"]] = {
+            "good": t["good"], "completed": t["completed"],
+            "violations": t["slo_violations"], "rejected": t["rejected"],
+            "limit_at_end": policy.max_inflight,
+        }
+    row["total_good"] = sum(p["good"] for p in row["phases"].values())
+    if daemon is not None:
+        daemon.stop()
+        row["ctl_actions"] = daemon.actions_taken
+        row["ctl_suppressed"] = daemon.actuators.suppressed
+    system.shutdown()
+    return row
+
+
+def sweep_control_plane(*, limits=STATIC_LIMITS, seed: int = 0,
+                        processes: int | None = None) -> dict:
+    """Static sweep + controller run + synthesized oracle, one dict."""
+    points = [{"mode": "static", "limit": lim, "seed": seed} for lim in limits]
+    points.append({"mode": "controller", "seed": seed})
+    rows = run_sweep(run_control_point, points, base_seed=seed,
+                     processes=processes)
+    static_rows = [r for r in rows if r["mode"] == "static"]
+    controller = next(r for r in rows if r["mode"] == "controller")
+    static_best = max(static_rows, key=lambda r: r["total_good"])
+    # oracle: for each phase, the best goodput any static limit achieved
+    oracle = {
+        name: max(r["phases"][name]["good"] for r in static_rows)
+        for name in (p["name"] for p in PHASES)
+    }
+    oracle_total = sum(oracle.values())
+    return {
+        "rows": rows,
+        "controller_total": controller["total_good"],
+        "static_best_total": static_best["total_good"],
+        "static_best_limit": static_best["limit"],
+        "oracle_total": oracle_total,
+        "oracle_per_phase": oracle,
+        "beats_static": controller["total_good"] > static_best["total_good"],
+        "vs_oracle": (controller["total_good"] / oracle_total
+                      if oracle_total else 0.0),
+        "seed": seed,
+    }
+
+
+def format_control_plane(result: dict) -> str:
+    phase_names = [p["name"] for p in PHASES]
+    rows = []
+    for r in result["rows"]:
+        label = (f"static {r['limit']}" if r["mode"] == "static"
+                 else "controller")
+        cells = [label]
+        for name in phase_names:
+            p = r["phases"][name]
+            cells.append(f"{p['good']}")
+            cells.append(f"{p['rejected']}")
+        cells.append(f"{r['total_good']}")
+        rows.append(cells)
+    headers = ["mode"]
+    for name in phase_names:
+        headers += [f"{name} good", "rej"]
+    headers.append("total good")
+    table = format_table(
+        headers, rows,
+        title="E15 — shifting mix: controller vs static admission limits",
+    )
+    lines = [
+        table,
+        "",
+        f"  static-best  {result['static_best_total']} in-SLO ops "
+        f"(limit {result['static_best_limit']})",
+        f"  controller   {result['controller_total']} in-SLO ops "
+        f"({'beats' if result['beats_static'] else 'DOES NOT beat'} "
+        f"static-best)",
+        f"  oracle       {result['oracle_total']} in-SLO ops "
+        f"(controller at {result['vs_oracle']:.0%})",
+    ]
+    return "\n".join(lines)

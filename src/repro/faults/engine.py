@@ -191,6 +191,19 @@ class FaultEngine:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
+    def stalled_devices(self, now: int | None = None) -> list[str]:
+        """Names of devices whose injected stall is still holding service
+        starts frozen at ``now`` (default: the current virtual instant).
+        Read-only introspection for health checks — the control daemon's
+        DeviceStall check pairs this with the per-window device-op rate."""
+        if now is None:
+            now = self.env.now
+        return sorted(
+            inj.device_name
+            for inj in self._device_injectors.values()
+            if inj.stall_until > now
+        )
+
     def record(self, kind: str, **fields) -> None:
         """Count an injection and publish it on the trace seam."""
         self.injected[kind] = self.injected.get(kind, 0) + 1

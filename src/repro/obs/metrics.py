@@ -37,6 +37,8 @@ class MetricsRegistry:
         self._counters: dict[_Key, int] = {}
         self._gauges: dict[_Key, float] = {}
         self._histograms: dict[_Key, Histogram] = {}
+        #: counter values at the last :meth:`mark` (window base)
+        self._marks: dict[_Key, int] = {}
 
     # -- counters ---------------------------------------------------------
     def inc(self, name: str, value: int = 1, **labels: Any) -> None:
@@ -46,12 +48,61 @@ class MetricsRegistry:
     def counter(self, name: str, **labels: Any) -> int:
         return self._counters.get(_key(name, labels), 0)
 
+    def delta(self, name: str, **labels: Any) -> int:
+        """Counter increase since the last :meth:`mark` (0 before any mark)."""
+        k = _key(name, labels)
+        return self._counters.get(k, 0) - self._marks.get(k, 0)
+
+    def deltas(self) -> dict[_Key, int]:
+        """All nonzero counter increases since the last :meth:`mark`."""
+        out: dict[_Key, int] = {}
+        for k, v in self._counters.items():
+            d = v - self._marks.get(k, 0)
+            if d:
+                out[k] = d
+        return out
+
+    def mark(self) -> None:
+        """Begin a new counter window: subsequent :meth:`delta` /
+        :meth:`rates` calls report increases from this instant.  One
+        window per registry — the control daemon is the intended (sole)
+        consumer; see :class:`repro.ctl.MetricsView`."""
+        self._marks = dict(self._counters)
+
+    def rates(self, elapsed_ns: int) -> list[dict[str, Any]]:
+        """Per-second rates of every counter that moved in the window."""
+        if elapsed_ns <= 0:
+            raise ValueError(f"elapsed_ns must be positive, got {elapsed_ns}")
+        out = []
+        for k in sorted(self.deltas(), key=self._sort_key):
+            d = self._counters[k] - self._marks.get(k, 0)
+            out.append({**self._unkey(k), "delta": d,
+                        "per_sec": d * 1e9 / elapsed_ns})
+        return out
+
     # -- gauges -----------------------------------------------------------
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
         self._gauges[_key(name, labels)] = value
 
     def gauge(self, name: str, **labels: Any) -> float:
         return self._gauges.get(_key(name, labels), 0.0)
+
+    def has_gauge(self, name: str, **labels: Any) -> bool:
+        """Whether the gauge was ever set — health checks need to tell
+        "absent" from a genuine 0.0 reading."""
+        return _key(name, labels) in self._gauges
+
+    def gauge_values(self, name: str, **labels: Any) -> list[tuple[dict, float]]:
+        """Every ``(labels, value)`` whose gauge carries ``name`` and at
+        least ``labels`` (a partial filter, like window delta sums)."""
+        out = []
+        for k, v in self._gauges.items():
+            if k[0] != name:
+                continue
+            have = dict(k[1:])
+            if all(have.get(lk) == lv for lk, lv in labels.items()):
+                out.append((have, v))
+        return out
 
     # -- histograms -------------------------------------------------------
     def histogram(self, name: str, **labels: Any) -> Histogram:
@@ -63,6 +114,14 @@ class MetricsRegistry:
 
     def observe(self, name: str, value_ns: float, **labels: Any) -> None:
         self.histogram(name, **labels).add(value_ns)
+
+    def window_histograms(self) -> dict[_Key, Histogram]:
+        """Per-window snapshot of every histogram via
+        :meth:`~repro.sim.stats.Histogram.fork_window` — each returned
+        histogram holds only the samples since the previous call.  Like
+        :meth:`mark`, this is a single rolling window per registry (the
+        control daemon's sampling loop)."""
+        return {k: h.fork_window() for k, h in self._histograms.items()}
 
     # -- export -----------------------------------------------------------
     @staticmethod
@@ -115,11 +174,13 @@ class MetricsRegistry:
         self._histograms = {
             k: Histogram.load(h) for k, h in state["histograms"].items()
         }
+        self._marks = {}  # a restored registry starts a fresh window
 
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._marks.clear()
 
     def __repr__(self) -> str:
         return (

@@ -303,6 +303,37 @@ def _scenario_cluster(audit: AuditRun) -> dict[str, Any]:
     return drive_program(ClusterProgram(), audit)
 
 
+def _scenario_control(audit: AuditRun) -> dict[str, Any]:
+    """Closed-loop control under chaos: the canonical 2-worker KVS storm
+    (two worker crashes with inline respawn off, an unattended power cut,
+    a latency tax, a device stall) steered by a ControlDaemon — healer,
+    retry-tuner and worker-scaler acting through hysteresis-gated
+    actuator seams.  Every control draw comes from the seeded "ctl"
+    stream and every repair flows through declared actuators, so sample →
+    check → actuate must replay digest-identical."""
+    from ..ctl.presets import build_chaos_control
+
+    env = Environment()
+    audit.attach(env)
+    system, engine, daemon = build_chaos_control(env=env)
+    summary = engine.run()
+    tot = summary["totals"]
+    assert daemon is not None and daemon.ticks > 0, "daemon never ticked"
+    assert daemon.actions_taken > 0, "chaos storm provoked no repairs"
+    assert system.runtime.online, "daemon failed to restart the runtime"
+    assert not system.runtime.orchestrator.dead_workers, \
+        "daemon left crashed workers dead"
+    assert tot["completed"] > 0, "controlled run completed no ops"
+    return {
+        "launched": tot["launched"],
+        "good": tot["good"],
+        "rejected": tot["rejected"],
+        "ticks": daemon.ticks,
+        "actions": daemon.actions_taken,
+        "suppressed": daemon.actuators.suppressed,
+    }
+
+
 SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {
     "quickstart": _scenario_quickstart,
     "orchestration": _scenario_orchestration,
@@ -311,6 +342,7 @@ SCENARIOS: dict[str, Callable[[AuditRun], dict[str, Any]]] = {
     "batching": _scenario_batching,
     "openloop": _scenario_openloop,
     "cluster": _scenario_cluster,
+    "control": _scenario_control,
 }
 
 

@@ -193,6 +193,25 @@ class Histogram:
         h.total = state["total"]
         return h
 
+    def fork_window(self) -> "Histogram":
+        """Snapshot-and-reset seam for windowed consumers: return a new
+        Histogram holding only the samples added since the previous
+        ``fork_window()`` call (all samples, on the first call), without
+        disturbing this cumulative histogram.
+
+        SLO-burn health checks quantile the *last interval*, not the whole
+        run — a lifetime histogram stops reacting once it holds enough
+        history to drown any new tail.  One rolling window per histogram:
+        the control daemon's sampling loop is the intended (sole) caller.
+        """
+        win = Histogram(min_ns=self.min_ns, max_ns=self.max_ns)
+        base = getattr(self, "_window_base", None)
+        diff = self.buckets.copy() if base is None else self.buckets - base
+        win.buckets = diff
+        win.total = int(diff.sum())
+        self._window_base = self.buckets.copy()
+        return win
+
     def quantile(self, q: float) -> float:
         """Approximate quantile (bucket upper bound)."""
         if self.total == 0:

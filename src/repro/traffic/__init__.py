@@ -16,7 +16,13 @@ determinism: the ``"openloop"`` scenario of ``python -m repro.sim.check``.
 """
 
 from .arrivals import ArrivalProcess, BurstyArrivals, DiurnalArrivals, PoissonArrivals
-from .engine import AdmissionPolicy, OpenLoopEngine, QueueDepthAdmission, TenantStats
+from .engine import (
+    AdmissionPolicy,
+    OpenLoopEngine,
+    QueueDepthAdmission,
+    TenantQuotaAdmission,
+    TenantStats,
+)
 from .keys import ZipfKeys
 from .presets import build_overload_engine, overload_tenants
 from .tenants import SCHEDULES, TenantSLO, TenantSpec
@@ -36,6 +42,7 @@ __all__ = [
     "SCHEDULES",
     "AdmissionPolicy",
     "QueueDepthAdmission",
+    "TenantQuotaAdmission",
     "TenantStats",
     "OpenLoopEngine",
     "build_overload_engine",

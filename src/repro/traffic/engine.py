@@ -43,7 +43,8 @@ from ..sim.stats import LatencyRecorder
 from .arrivals import ArrivalProcess
 from .tenants import TenantSpec
 
-__all__ = ["AdmissionPolicy", "QueueDepthAdmission", "TenantStats", "OpenLoopEngine"]
+__all__ = ["AdmissionPolicy", "QueueDepthAdmission", "TenantQuotaAdmission",
+           "TenantStats", "OpenLoopEngine"]
 
 
 class AdmissionPolicy:
@@ -76,6 +77,45 @@ class QueueDepthAdmission(AdmissionPolicy):
         return f"<QueueDepthAdmission max_inflight={self.max_inflight}>"
 
 
+class TenantQuotaAdmission(AdmissionPolicy):
+    """Per-tenant in-flight quotas, with an optional engine-wide ceiling.
+
+    Admission isolation: one tenant's burst can only fill its own quota,
+    never the whole admission budget — the noisy-neighbour knob the
+    control daemon retunes per tenant (``set_quota`` is the actuator
+    seam; see :mod:`repro.ctl`)."""
+
+    name = "tenant-quota"
+
+    def __init__(self, quotas: dict[str, int] | None = None, *,
+                 default: int = 64, max_inflight: int | None = None) -> None:
+        if default <= 0:
+            raise ValueError(f"default quota must be positive, got {default}")
+        self.quotas = dict(quotas or {})
+        for tenant, q in self.quotas.items():
+            if q <= 0:
+                raise ValueError(f"quota for {tenant!r} must be positive, got {q}")
+        self.default = int(default)
+        self.max_inflight = max_inflight
+
+    def quota(self, tenant: str) -> int:
+        return self.quotas.get(tenant, self.default)
+
+    def set_quota(self, tenant: str, quota: int) -> None:
+        if quota <= 0:
+            raise ValueError(f"quota for {tenant!r} must be positive, got {quota}")
+        self.quotas[tenant] = int(quota)
+
+    def admit(self, engine: "OpenLoopEngine", tenant: "_Tenant") -> bool:
+        if self.max_inflight is not None and engine.inflight >= self.max_inflight:
+            return False
+        return tenant.inflight < self.quota(tenant.spec.name)
+
+    def __repr__(self) -> str:
+        return (f"<TenantQuotaAdmission default={self.default} "
+                f"quotas={self.quotas} max_inflight={self.max_inflight}>")
+
+
 class TenantStats:
     """Mutable per-tenant accounting updated as ops complete."""
 
@@ -98,8 +138,10 @@ class _Tenant:
     arrivals: ArrivalProcess
     make_op: Callable[[np.random.Generator], Any]
     stats: TenantStats
-    rng: np.random.Generator
+    rng: np.random.Generator           # op construction (keys, mix)
+    arrivals_rng: np.random.Generator  # interarrival draws only
     offered_ops_s: float
+    inflight: int = 0  # this tenant's launched-but-unfinished ops
 
 
 class OpenLoopEngine:
@@ -141,14 +183,23 @@ class OpenLoopEngine:
         rngs = self.system.rngs
         stats = TenantStats(spec.name, rngs.stream(f"traffic.{spec.name}.stats"),
                             self.reservoir)
+        # Arrival times draw from their own stream: admission decisions
+        # (which gate op-construction draws) must never perturb *when*
+        # later ops arrive, or an A/B comparison across admission
+        # policies would not face the same offered load.
         self._tenants.append(_Tenant(
             spec=spec,
             arrivals=spec.build_arrivals(load_factor),
             make_op=make_op,
             stats=stats,
             rng=rngs.stream(f"traffic.{spec.name}"),
+            arrivals_rng=rngs.stream(f"traffic.{spec.name}.arrivals"),
             offered_ops_s=spec.offered_ops_per_sec * load_factor,
         ))
+        # export the SLO target itself: an admission controller needs the
+        # deadline to judge how much latency headroom a window's p99 left
+        self.registry.set_gauge("tenant_slo_deadline_ns",
+                                float(spec.slo.deadline_ns), tenant=spec.name)
         return stats
 
     @property
@@ -166,11 +217,12 @@ class OpenLoopEngine:
     # ------------------------------------------------------------------
     def _arrivals(self, t: _Tenant):
         env, rng, spec, stats = self.env, t.rng, t.spec, t.stats
+        arrivals_rng = t.arrivals_rng
         reg = self.registry
         end = env._now + self.duration_ns
         cap = self.max_ops_per_tenant
         while True:
-            gap = t.arrivals.next_interarrival_ns(rng, env._now)
+            gap = t.arrivals.next_interarrival_ns(arrivals_rng, env._now)
             if env._now + gap >= end:
                 return  # the window closed before the next arrival
             yield env.timeout(gap)
@@ -182,9 +234,11 @@ class OpenLoopEngine:
                 continue
             stats.launched += 1
             self.inflight += 1
+            t.inflight += 1
             if self.inflight > self.peak_inflight:
                 self.peak_inflight = self.inflight
             reg.set_gauge("traffic_inflight", self.inflight)
+            reg.set_gauge("tenant_inflight", t.inflight, tenant=spec.name)
             self._ops.append(env.process(self._op(t, t.make_op(rng), env._now)))
 
     def _op(self, t: _Tenant, gen, start_ns: int):
@@ -194,12 +248,14 @@ class OpenLoopEngine:
         except Exception:  # noqa: BLE001 - a failed op is an SLO violation, not a crash
             ok = False
         self.inflight -= 1
+        t.inflight -= 1
         env, stats, reg = self.env, t.stats, self.registry
         name = t.spec.name
         latency_ns = env._now - start_ns
         stats.completed += 1
         stats.latency.add(latency_ns)
         reg.inc("tenant_ops_total", tenant=name)
+        reg.set_gauge("tenant_inflight", t.inflight, tenant=name)
         reg.observe("tenant_latency_ns", latency_ns, tenant=name)
         reg.set_gauge("traffic_inflight", self.inflight)
         if not ok:
