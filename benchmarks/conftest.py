@@ -20,6 +20,11 @@ import pytest
 
 ARTIFACT_DIR_ENV = "BENCH_ARTIFACT_DIR"
 
+#: repo root, where a second copy of each artifact is committed so the
+#: bench trajectory (the curve of gated numbers across PRs) has a
+#: baseline — ``benchmarks/artifacts/`` stays the CI-upload directory
+ROOT_DIR = Path(__file__).parent.parent
+
 
 def _artifact_dir() -> Path:
     configured = os.environ.get(ARTIFACT_DIR_ENV)
@@ -31,13 +36,20 @@ def write_bench_artifact(name: str, rows, **meta) -> Path:
 
     ``rows`` is the experiment sweep's list of dicts; ``meta`` lands
     alongside it (figure label, knobs).  Non-JSON values degrade to their
-    ``str`` form rather than failing the benchmark.
+    ``str`` form rather than failing the benchmark.  The artifact is
+    written twice: under the artifact directory (CI upload) and at the
+    repo root (committed trajectory baseline).
     """
     out_dir = _artifact_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
     payload = {"name": name, "rows": rows, **meta}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    path.write_text(text)
+    try:
+        (ROOT_DIR / f"BENCH_{name}.json").write_text(text)
+    except OSError:
+        pass  # a read-only checkout still gets the primary artifact
     return path
 
 
@@ -72,8 +84,12 @@ def pytest_sessionfinish(session, exitstatus):
     if entries:
         summary = {"benchmarks": entries, "count": len(entries),
                    "exitstatus": int(exitstatus)}
-        (out_dir / "BENCH_summary.json").write_text(
-            json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        text = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        (out_dir / "BENCH_summary.json").write_text(text)
+        try:
+            (ROOT_DIR / "BENCH_summary.json").write_text(text)
+        except OSError:
+            pass
 
 
 def run_figure(benchmark, sweep_fn, format_fn, label, artifact: str | None = None):

@@ -293,6 +293,7 @@ class _StackScope:
         self._inner = node.stack(mount)
         self._mount = mount
         self._flushed = False
+        self._calls: list[tuple] = []
 
     def _flush(self) -> None:
         if self._flushed:
@@ -300,6 +301,8 @@ class _StackScope:
         self._flushed = True
         self._inner.mount()
         self._outer._cluster.register_service(self._mount, self._node.name)
+        self._outer._record_stack(self._node.name, self._mount,
+                                  tuple(self._calls))
 
     def mount(self):
         """Mount now and return the outer builder (optional — any
@@ -319,7 +322,12 @@ class _StackScope:
 
         def proxy(*args, **kw):
             out = attr(*args, **kw)
-            return self if out is self._inner else out
+            if out is self._inner:
+                # a chainable knob — record it so the scope can be
+                # replayed verbatim inside each shard's private world
+                self._calls.append((name, args, kw))
+                return self
+            return out
 
         return proxy
 
@@ -329,8 +337,17 @@ class ClusterBuilder:
 
     def __init__(self, **cluster_kw) -> None:
         self._cluster = Cluster(**cluster_kw)
+        self._cluster_kw = dict(cluster_kw)
         self._current: Node | None = None
         self._linked = False
+        # declaration log so build(shards=N) can freeze the topology as
+        # data and replay it node-by-node inside forked shard worlds
+        self._node_decls: list[dict] = []
+        self._stack_decls: dict[str, list] = {}
+        self._link_decls: list[tuple] = []
+
+    def _record_stack(self, node_name: str, mount: str, calls: tuple) -> None:
+        self._stack_decls.setdefault(node_name, []).append((mount, calls))
 
     def node(
         self,
@@ -348,6 +365,10 @@ class ClusterBuilder:
         self._current = self._cluster.add_node(
             name, devices=devices, config=config, failure_domain=failure_domain
         )
+        self._node_decls.append({
+            "name": name, "devices": devices, "config": config,
+            "failure_domain": failure_domain,
+        })
         return self
 
     def stack(self, mount: str) -> _StackScope:
@@ -360,20 +381,75 @@ class ClusterBuilder:
              *, bidirectional: bool = True) -> "ClusterBuilder":
         self._cluster.link(a, b, cost, bidirectional=bidirectional)
         self._linked = True
+        self._link_decls.append((a, b, cost, bidirectional))
         return self
 
     def connect_all(self, cost: FabricCost | None = None) -> "ClusterBuilder":
         self._cluster.connect_all(cost)
         self._linked = True
+        self._link_decls.append(("*", "*", cost, True))
         return self
 
-    def build(self) -> Cluster:
-        """Finalize: default to a full mesh when no links were declared,
-        then instantiate all routes.  Returns the live Cluster."""
-        if not self._linked and len(self._cluster.nodes) > 1:
-            self._cluster.connect_all()
-        self._cluster.build_routes()
-        return self._cluster
+    def _freeze_spec(self):
+        from .par import ClusterSpec, LinkDecl, NodeDecl, StackDecl
+
+        nodes = tuple(
+            NodeDecl(
+                d["name"], devices=d["devices"], config=d["config"],
+                failure_domain=d["failure_domain"],
+                stacks=tuple(
+                    StackDecl(mount, calls)
+                    for mount, calls in self._stack_decls.get(d["name"], [])
+                ),
+            )
+            for d in self._node_decls
+        )
+        names = sorted(d["name"] for d in self._node_decls)
+        links: list = []
+        for rec in self._link_decls:
+            if rec[0] == "*":  # connect_all marker: expand the full mesh
+                for i, a in enumerate(names):
+                    for b in names[i + 1:]:
+                        links.append(LinkDecl(a, b, rec[2], True))
+            else:
+                a, b, cost, bidi = rec
+                links.append(LinkDecl(a, b, cost, bidi))
+        kw = self._cluster_kw
+        return ClusterSpec(
+            seed=kw.get("seed", 0), cost=kw.get("cost", DEFAULT_COST),
+            fabric_cost=kw.get("fabric_cost"),
+            nodes=nodes, links=tuple(links),
+        )
+
+    def build(self, shards: int | None = None):
+        """Finalize the topology.
+
+        ``build()`` defaults to a full mesh when no links were declared,
+        instantiates all routes, and returns the live :class:`Cluster`.
+
+        ``build(shards=N)`` instead freezes the recorded declarations
+        into a :class:`~repro.cluster.par.ClusterSpec` and returns a
+        :class:`~repro.cluster.par.ParHandle` whose ``run(...)`` executes
+        the topology under the conservative windowed parallel runner —
+        node-sharded across ``N`` processes, byte-identical to serial.
+        """
+        if shards is None:
+            if not self._linked and len(self._cluster.nodes) > 1:
+                self._cluster.connect_all()
+            self._cluster.build_routes()
+            return self._cluster
+        if not isinstance(shards, int) or shards < 1:
+            raise LabStorError(f"shards must be a positive int, got {shards!r}")
+        if self._cluster_kw.get("env") is not None:
+            raise LabStorError(
+                "build(shards=N) owns its environments per node-world; "
+                "drop env= from cluster(...)"
+            )
+        from .par import ParHandle
+
+        # the eagerly-built parent Cluster is discarded unrouted: shard
+        # worlds rebuild their node subset from the frozen spec instead
+        return ParHandle(self._freeze_spec(), shards)
 
 
 def cluster(**kw) -> ClusterBuilder:

@@ -76,6 +76,24 @@ class FabricLink:
         self.transfers += 1
         self.bytes_moved += nbytes
 
+    def send(self, nbytes: int):
+        """Process generator: serialize ``nbytes`` onto the wire and
+        return the **arrival time** without sleeping out the propagation.
+
+        The sharded runner's transport: the sender only experiences the
+        wire occupancy (identical contention to :meth:`transfer`); the
+        propagation term is realized on the *receiving* environment as the
+        returned ``release + link_lat_ns`` delivery timestamp.  Counters
+        move at wire release, exactly when :meth:`transfer` would have
+        started the flight.
+        """
+        with self._wire.request() as grant:
+            yield grant
+            yield self.env.timeout(self.cost.serialize_ns(nbytes))
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        return self.env.now + self.cost.link_lat_ns
+
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return (f"<FabricLink {self.src}->{self.dst} "
                 f"transfers={self.transfers} bytes={self.bytes_moved}>")

@@ -7,7 +7,8 @@ Usage::
     python -m repro.experiments --list
 
 Figure names: anatomy, table1, fig5a, fig5b, fig6, fig7, fig8, fig9a,
-fig9b, fig9c, ablations, faults, batching, openloop, cluster, control.
+fig9b, fig9c, ablations, faults, batching, openloop, cluster,
+cluster-par, pfs-cluster, control.
 """
 
 from __future__ import annotations
@@ -85,6 +86,10 @@ FIGURES = {
         openloop.sweep_openloop())),
     "cluster": lambda: print(cluster_scaling.format_cluster_scaling(
         cluster_scaling.sweep_cluster_scaling())),
+    "cluster-par": lambda: print(cluster_scaling.format_cluster_scaling_par(
+        cluster_scaling.sweep_cluster_scaling_par())),
+    "pfs-cluster": lambda: print(cluster_scaling.format_pfs_cluster(
+        cluster_scaling.sweep_pfs_cluster())),
     "control": lambda: print(control_plane.format_control_plane(
         control_plane.sweep_control_plane())),
 }

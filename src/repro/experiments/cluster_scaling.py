@@ -37,7 +37,12 @@ __all__ = [
     "run_cluster_scaling",
     "sweep_cluster_scaling",
     "format_cluster_scaling",
+    "run_cluster_scaling_par",
+    "sweep_cluster_scaling_par",
+    "format_cluster_scaling_par",
     "run_pfs_cluster",
+    "sweep_pfs_cluster",
+    "format_pfs_cluster",
 ]
 
 
@@ -162,6 +167,96 @@ def format_cluster_scaling(rows: list[dict]) -> str:
 
 
 # ----------------------------------------------------------------------
+# E14 under the sharded runner
+# ----------------------------------------------------------------------
+def run_cluster_scaling_par(
+    *,
+    nnodes: int = 4,
+    shards: int = 1,
+    replicas: int = 1,
+    nclients: int = 96,
+    ops_per_client: int = 16,
+    value_size: int = 256,
+    link_lat_ns: int = 100_000,
+    seed: int = 0,
+) -> dict:
+    """One E14 point executed by :mod:`repro.sim.par`: the same fixed
+    offered load over a cross-rack topology (wide ``link_lat_ns`` buys
+    the runner wide lookahead windows), sharded across ``shards`` OS
+    processes.  ``shards=1`` is the serial baseline of the same windowed
+    architecture — virtual results are byte-identical at every shard
+    count, only wall clock moves."""
+    from ..cluster.par import E14ParProgram
+    from ..sim.par import run_program
+
+    program = E14ParProgram(
+        seed, nnodes=nnodes, replicas=replicas, nclients=nclients,
+        ops_per_client=ops_per_client, value_size=value_size,
+        link_lat_ns=link_lat_ns,
+    )
+    res = run_program(program, shards=shards, trace=False)
+    row = dict(res.reduced)
+    row.update(
+        shards=res.shards,
+        rounds=res.rounds,
+        messages=res.messages,
+        events=res.events,
+        wall_s=res.wall_s,
+        max_shard_cpu_s=max(s["cpu_s"] for s in res.shard_stats),
+        total_cpu_s=sum(s["cpu_s"] for s in res.shard_stats),
+        seed=seed,
+    )
+    return row
+
+
+def sweep_cluster_scaling_par(
+    *,
+    node_counts=(4, 8),
+    shard_counts=(1, 2, 4),
+    nclients: int = 96,
+    ops_per_client: int = 16,
+    seed: int = 0,
+) -> list[dict]:
+    """E14 at 4-8 nodes under the parallel runner: every (nnodes,
+    shards) cell, run sequentially so each cell's forked shards get the
+    whole machine.  Within a node count the virtual rows must agree —
+    asserted here, the cheap always-on cousin of the digest gate."""
+    rows: list[dict] = []
+    for nnodes in node_counts:
+        base: dict | None = None
+        for shards in shard_counts:
+            if shards > nnodes:
+                continue
+            reset_global_counters()
+            row = run_cluster_scaling_par(
+                nnodes=nnodes, shards=shards, nclients=nclients,
+                ops_per_client=ops_per_client, seed=seed,
+            )
+            if base is None:
+                base = row
+            else:
+                for key in ("ops", "kops_s", "remote_calls", "fabric_MB"):
+                    assert row[key] == base[key], (
+                        f"nnodes={nnodes} shards={shards}: {key} diverged "
+                        f"from the shards={shard_counts[0]} baseline")
+            row["speedup"] = base["wall_s"] / row["wall_s"] if row["wall_s"] else 0.0
+            rows.append(row)
+    return rows
+
+
+def format_cluster_scaling_par(rows: list[dict]) -> str:
+    return format_table(
+        ["nodes", "shards", "kops/s", "wall (s)", "speedup", "rounds",
+         "msgs", "max cpu (s)"],
+        [[r["nnodes"], r["shards"], f"{r['kops_s']:.1f}",
+          f"{r['wall_s']:.3f}", f"{r.get('speedup', 1.0):.2f}x",
+          r["rounds"], r["messages"], f"{r['max_shard_cpu_s']:.3f}"]
+         for r in rows],
+        title="E14/par — sharded-runner wall clock vs. shard count",
+    )
+
+
+# ----------------------------------------------------------------------
 # PFS re-hosted on genuine nodes
 # ----------------------------------------------------------------------
 def run_pfs_cluster(
@@ -208,6 +303,7 @@ def run_pfs_cluster(
     cl.shutdown()
     return {
         "ndata": ndata,
+        "nprocs": cfg.nprocs,
         "data_device": data_device,
         "mds_variant": mds_variant,
         "vpic_s": to_sec(vpic.elapsed_ns),
@@ -218,3 +314,54 @@ def run_pfs_cluster(
         "fabric_messages": transport.messages,
         "fabric_MB": fabric_bytes / 1e6,
     }
+
+
+def _pfs_cluster_point(point: dict, seed: int) -> dict:
+    """Module-level sweep fn (crosses the process pool)."""
+    reset_global_counters()
+    row = run_pfs_cluster(
+        ndata=point["ndata"],
+        cfg=VpicConfig(
+            nprocs=point["nprocs"],
+            timesteps=point.get("timesteps", 2),
+            particles_per_proc=point.get("particles_per_proc", 1024),
+        ),
+        seed=seed,
+    )
+    row["seed"] = seed
+    return row
+
+
+def sweep_pfs_cluster(
+    *,
+    proc_counts=(8, 32, 128),
+    ndata: int = 4,
+    timesteps: int = 2,
+    particles_per_proc: int = 1024,
+    base_seed: int = 0,
+    processes: int | None = None,
+) -> list[dict]:
+    """The PFS grid pushed toward the paper's 640-process shape: VPIC
+    rank count scaled on a fixed node-hosted deployment.  Points fan out
+    over the sweep's process pool — the grid, not a single point, is the
+    parallel unit here, because OrangeFs generator frames thread through
+    every node's adapters and cannot split across Environments.  Pass
+    ``proc_counts=(40, 160, 640)`` for the full paper shape."""
+    points = [
+        {"ndata": ndata, "nprocs": n, "timesteps": timesteps,
+         "particles_per_proc": particles_per_proc}
+        for n in proc_counts
+    ]
+    return run_sweep(_pfs_cluster_point, points, base_seed=base_seed,
+                     processes=processes)
+
+
+def format_pfs_cluster(rows: list[dict]) -> str:
+    return format_table(
+        ["procs", "data nodes", "vpic MB/s", "bdcats MB/s", "meta ops",
+         "fabric MB"],
+        [[r["nprocs"], r["ndata"], f"{r['vpic_MBps']:.1f}",
+          f"{r['bdcats_MBps']:.1f}", r["metadata_ops"],
+          f"{r['fabric_MB']:.2f}"] for r in rows],
+        title="E8/cluster — node-hosted PFS vs. VPIC process count",
+    )

@@ -31,6 +31,7 @@ from .trace import TraceEvent
 __all__ = [
     "TraceHasher",
     "AuditRun",
+    "CounterScope",
     "reset_global_counters",
     "run_scenario",
     "SCENARIOS",
@@ -110,6 +111,27 @@ class AuditRun:
         return self.hasher.hexdigest()
 
 
+#: every module-global identity counter: (module, attribute, start)
+_COUNTER_SITES = (
+    ("repro.system", "_uuid_seq", 1),
+    ("repro.builder", "_uuid_seq", 1),
+    ("repro.core.client", "_pids", 1000),
+    ("repro.core.labstack", "_stack_ids", 1),
+    ("repro.core.requests", "_req_ids", 1),
+    ("repro.devices.base", "_req_ids", 1),
+    ("repro.ipc.queue_pair", "_qids", 1),
+    ("repro.ipc.shmem", "_seg_ids", 1),
+    ("repro.mods.labfs.log", "_seq", 1),
+)
+
+
+def _counter_modules() -> list[tuple[Any, str, int]]:
+    import importlib
+
+    return [(importlib.import_module(mod), attr, start)
+            for mod, attr, start in _COUNTER_SITES]
+
+
 def reset_global_counters() -> None:
     """Rewind every module-level id counter to its import-time start.
 
@@ -118,25 +140,29 @@ def reset_global_counters() -> None:
     runs of one scenario must start from identical counter state to be
     comparable.
     """
-    from .. import builder as _builder
-    from .. import system as _system
-    from ..core import client as _client
-    from ..core import labstack as _labstack
-    from ..core import requests as _requests
-    from ..devices import base as _devbase
-    from ..ipc import queue_pair as _qp
-    from ..ipc import shmem as _shmem
-    from ..mods.labfs import log as _lablog
+    for module, attr, start in _counter_modules():
+        setattr(module, attr, itertools.count(start))
 
-    _system._uuid_seq = itertools.count(1)
-    _builder._uuid_seq = itertools.count(1)
-    _client._pids = itertools.count(1000)
-    _labstack._stack_ids = itertools.count(1)
-    _requests._req_ids = itertools.count(1)
-    _devbase._req_ids = itertools.count(1)
-    _qp._qids = itertools.count(1)
-    _shmem._seg_ids = itertools.count(1)
-    _lablog._seq = itertools.count(1)
+
+class CounterScope:
+    """A private identity-counter universe.
+
+    The sharded runner (:mod:`repro.sim.par`) hosts several node-worlds
+    per process; were they to share the process-global counters, the ids
+    a world draws would depend on which *other* worlds it cohabits with
+    — and differ between ``shards=1`` and forked runs.  Each world owns
+    a scope and :meth:`activate`\\ s it before executing, so every draw
+    depends only on that world's own history: the exact values it would
+    draw running alone in a fork.
+    """
+
+    def __init__(self) -> None:
+        self._sites = [(module, attr, itertools.count(start))
+                       for module, attr, start in _counter_modules()]
+
+    def activate(self) -> None:
+        for module, attr, counter in self._sites:
+            setattr(module, attr, counter)
 
 
 # ----------------------------------------------------------------------
@@ -359,16 +385,74 @@ def run_scenario(name: str, strict: bool = True) -> tuple[str, dict[str, Any]]:
     return audit.digest, report
 
 
+def _main_shards(names: list[str], shards: list[int], seed: int) -> int:
+    """``--shards`` mode: run each par-capable scenario once per shard
+    count under the sharded runner and require every merged digest to be
+    byte-identical to the ``shards=1`` baseline."""
+    from ..cluster.par import PAR_SCENARIOS
+    from .par import run_program
+
+    unknown = [n for n in names if n not in PAR_SCENARIOS]
+    if unknown:
+        print(f"not par-capable: {', '.join(unknown)}; "
+              f"par scenarios: {sorted(PAR_SCENARIOS)}", file=sys.stderr)
+        return 2
+    failed = False
+    for name in names:
+        digests = {}
+        for n in shards:
+            res = run_program(PAR_SCENARIOS[name](seed), shards=n, trace=True)
+            digests[n] = (res.digest, res.merged_events)
+        base, base_events = digests[shards[0]]
+        ok = all(d == base for d, _ in digests.values())
+        failed |= not ok
+        print(f"[{'ok' if ok else 'FAIL'}] {name}: {base_events} merged "
+              f"trace events across shards={{{','.join(map(str, shards))}}}")
+        for n in shards:
+            d, _ = digests[n]
+            mark = "" if d == base else "   <-- DIVERGES FROM shards=1"
+            print(f"       shards={n}: {d}{mark}")
+    return 1 if failed else 0
+
+
 def main(argv: list[str]) -> int:
     if "--list" in argv:
         print("\n".join(SCENARIOS))
         return 0
     strict = "--strict" in argv
+    shards: list[int] | None = None
+    seed = 0
+    argv = list(argv)
+    if "--shards" in argv:
+        i = argv.index("--shards")
+        try:
+            shards = [int(s) for s in argv[i + 1].split(",")]
+        except (IndexError, ValueError):
+            print("--shards needs a comma-separated int list, e.g. "
+                  "--shards 1,2,4", file=sys.stderr)
+            return 2
+        del argv[i:i + 2]
+    if "--seed" in argv:
+        i = argv.index("--seed")
+        try:
+            seed = int(argv[i + 1])
+        except (IndexError, ValueError):
+            print("--seed needs an integer", file=sys.stderr)
+            return 2
+        del argv[i:i + 2]
     bad_flags = [a for a in argv if a.startswith("-") and a != "--strict"]
     if bad_flags:
         print(f"unknown option(s): {', '.join(bad_flags)}; "
-              f"usage: check [--list] [--strict] [scenario ...]", file=sys.stderr)
+              f"usage: check [--list] [--strict] [--shards 1,2,4] "
+              f"[--seed N] [scenario ...]", file=sys.stderr)
         return 2
+    if shards is not None:
+        names = [a for a in argv if not a.startswith("-")]
+        if not names:
+            print("--shards needs explicit scenario name(s), e.g. "
+                  "check cluster --shards 1,2,4", file=sys.stderr)
+            return 2
+        return _main_shards(names, shards, seed)
     names = [a for a in argv if not a.startswith("-")] or list(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:

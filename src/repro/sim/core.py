@@ -702,13 +702,29 @@ class Environment:
         if not self._audit:
             self._recycle(event)
 
-    def run(self, until: Any = None) -> Any:
+    def run(self, until: Any = None, *, until_window: Optional[int] = None) -> Any:
         """Run until ``until`` (a time, an Event, or heap exhaustion).
 
         Returns the event's value if ``until`` is an Event.
+
+        ``until_window=W`` is the conservative-parallel entry: process
+        every event with time **strictly below** ``W`` (the delay-0 lanes
+        are always drained — they live at ``now < W``), then return with
+        the clock left at the last processed event.  Unlike ``until=``,
+        the clock is *not* advanced to ``W`` (the next window must see
+        ``peek()`` report the true next event time) and an empty heap is
+        not an error (an idle shard simply has nothing below the bound).
         """
         stop_at: Optional[int] = None
         stop_event: Optional[Event] = None
+        win: Optional[int] = None
+        if until_window is not None:
+            if until is not None:
+                raise SimulationError("run(): until= and until_window= are mutually exclusive")
+            win = int(until_window)
+            if win <= self._now:
+                raise SimulationError(
+                    f"run(until_window={win}) is not in the future (now={self._now})")
         if until is None:
             pass
         elif isinstance(until, Event):
@@ -731,11 +747,15 @@ class Environment:
         heap = self._heap
         urgent = self._urgent
         due = self._due
+        urgent_pop = urgent.popleft
+        due_pop = due.popleft
         pools = self._pools
         pools_get = pools.get
         proc_pool = self._proc_pool
+        pool_max = POOL_MAX
         pop_heap = heappop
         refcount = getrefcount
+        now = self._now
         try:
             while True:
                 if urgent:
@@ -743,14 +763,14 @@ class Environment:
                     # external URGENT-with-delay corner (see _pop_event).
                     if heap:
                         top = heap[0]
-                        if top[1] == 0 and top[0] == self._now and top[2] < urgent[0]._seid:
+                        if top[1] == 0 and top[0] == now and top[2] < urgent[0]._seid:
                             pop_heap(heap)
                             _prio, event = 0, top[3]
                         else:
-                            event = urgent.popleft()
+                            event = urgent_pop()
                             _prio = 0
                     else:
-                        event = urgent.popleft()
+                        event = urgent_pop()
                         _prio = 0
                 elif due:
                     # NORMAL delay-0 lane; a same-time heap entry always
@@ -758,23 +778,25 @@ class Environment:
                     # _pop_event).
                     if heap:
                         top = heap[0]
-                        if top[0] == self._now and top[1] <= 1:
+                        if top[0] == now and top[1] <= 1:
                             pop_heap(heap)
                             _prio, event = top[1], top[3]
                         else:
-                            event = due.popleft()
+                            event = due_pop()
                             _prio = 1
                     else:
-                        event = due.popleft()
+                        event = due_pop()
                         _prio = 1
                 elif heap:
                     if stop_at is not None and heap[0][0] > stop_at:
                         self._now = stop_at
                         break
+                    if win is not None and heap[0][0] >= win:
+                        break
                     when, _prio, _eid, event = pop_heap(heap)
-                    if when < self._now:
+                    if when < now:
                         raise SimulationError("event scheduled in the past")
-                    self._now = when
+                    self._now = now = when
                 else:
                     break
                 audit = self._audit
@@ -788,6 +810,10 @@ class Environment:
                 if callbacks:
                     for cb in callbacks:
                         cb(event)
+                    # a callback may have re-entered run() (client connect
+                    # handshakes during build helpers) — re-sync the local
+                    # clock mirror before the next lane/heap comparison
+                    now = self._now
                 if not event._ok and not event._defused:
                     exc = event._value
                     raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
@@ -803,7 +829,7 @@ class Environment:
                     if rc == 2:
                         cls = event.__class__
                         pool = pools_get(cls)
-                        if pool is not None and len(pool) < POOL_MAX:
+                        if pool is not None and len(pool) < pool_max:
                             event._value = None
                             if cls is Condition:
                                 event._events = ()
@@ -811,7 +837,7 @@ class Environment:
                             self.pool_returned += 1
                     elif rc == 3 and event.__class__ is Process:
                         pool = proc_pool
-                        if len(pool) < POOL_MAX:
+                        if len(pool) < pool_max:
                             event._value = None
                             event._generator = None
                             event._target = None

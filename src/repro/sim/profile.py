@@ -48,7 +48,7 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable
 
-__all__ = ["WORKLOADS", "calibrate", "run_workload", "main"]
+__all__ = ["WORKLOADS", "calibrate", "run_workload", "format_par_stats", "main"]
 
 #: name -> builder(nops) returning (env, run_callable)
 WORKLOADS: dict[str, Callable] = {}
@@ -178,12 +178,17 @@ def calibrate(repeat: int = 3, n: int = 120_000) -> float:
 _GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("engine", ("/sim/core.py", "/sim/resources.py", "/sim/rng.py")),
     ("tracer", ("/sim/trace.py", "/sim/sanitizer.py", "/obs/")),
+    ("par", ("/sim/par.py",)),
     ("ipc", ("/ipc/",)),
     ("runtime", ("/core/",)),
+    ("cluster", ("/cluster/",)),
+    ("traffic", ("/traffic/",)),
+    ("ctl", ("/ctl/",)),
+    ("snap", ("/snap/",)),
     ("mods", ("/mods/",)),
     ("devices", ("/devices/",)),
     ("kernel", ("/kernel/",)),
-    ("workload", ("/workloads/", "/sim/stats.py")),
+    ("workload", ("/workloads/", "/sim/stats.py", "/experiments/", "/pfs/")),
 )
 
 
@@ -311,6 +316,28 @@ def _run_once(
     if prof is not None:
         row["subsystems_s"] = _subsystem_breakdown(prof)
     return row
+
+
+def format_par_stats(shard_stats: list[dict[str, Any]], wall_s: float) -> str:
+    """Render a sharded run's wall-clock + per-shard events/sec table.
+
+    ``shard_stats`` is :attr:`repro.sim.par.ParResult.shard_stats`:
+    ``busy_s`` is the time a shard spent inside windows (its barrier
+    wait excluded), so ``events/busy_s`` is that shard's engine rate and
+    the gap between ``sum(busy_s)`` and ``shards * wall_s`` is the
+    synchronization cost the lookahead didn't amortize.
+    """
+    lines = []
+    total_events = sum(s["events"] for s in shard_stats)
+    lines.append(
+        f"  total  {total_events:>10} events in {wall_s:.3f}s wall "
+        f"= {total_events / wall_s if wall_s > 0 else 0.0:>12,.0f} events/s")
+    for s in shard_stats:
+        lines.append(
+            f"  shard{s['shard']:<2} {s['events']:>9} events busy {s['busy_s']:.3f}s "
+            f"= {s['events_per_sec']:>12,.0f} events/s  "
+            f"nodes={','.join(s['nodes'])}")
+    return "\n".join(lines)
 
 
 def _format_row(row: dict[str, Any]) -> str:

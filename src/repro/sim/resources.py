@@ -270,6 +270,16 @@ class Store:
             if env._audit:
                 env.tracer.emit(env._now, "san.store", store=self)
             return ev
+        if not self.items and not self._putters:
+            # Multi-waiter fast path: the store is empty and nothing is
+            # queued to accept, so _dispatch would scan all three stages
+            # and do nothing — park the getter directly.  This is the
+            # steady state of a worker pool blocking on a drained queue
+            # (N getters stack up here between bursts).
+            self._getters.append(ev)
+            if env._audit:
+                env.tracer.emit(env._now, "san.store", store=self)
+            return ev
         self._getters.append(ev)
         self._dispatch()
         return ev
